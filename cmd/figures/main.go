@@ -1,0 +1,50 @@
+// Command figures regenerates the data series behind the paper's figures as
+// gnuplot-friendly TSV:
+//
+//	figures -fig 5    # device I/V surface (Ids vs Vd for several Vs)
+//	figures -fig 7    # discharge currents of the 6-NMOS stack
+//	figures -fig 8    # I/V curve fit: samples vs linear+quadratic fit
+//	figures -fig 9    # 6-NMOS stack waveforms: QWM vs SPICE
+//	figures -fig 10   # decoder tree waveforms with AWE π wires
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qwm/internal/bench"
+	"qwm/internal/mos"
+)
+
+func main() {
+	fig := flag.Int("fig", 9, "figure number: 5, 7, 8, 9 or 10")
+	flag.Parse()
+
+	h, err := bench.NewHarness(mos.CMOSP35())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	var series []*bench.Series
+	switch *fig {
+	case 5:
+		series, err = h.Fig5()
+	case 7:
+		series, err = h.Fig7()
+	case 8:
+		series, err = h.Fig8()
+	case 9:
+		series, err = h.Fig9()
+	case 10:
+		series, err = h.Fig10()
+	default:
+		err = fmt.Errorf("unknown figure %d", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# paper figure %d\n", *fig)
+	fmt.Print(bench.FormatSeries(series))
+}

@@ -1,0 +1,97 @@
+// Command sta runs transistor-level static timing analysis over a
+// SPICE-style deck: the netlist is partitioned into logic stages
+// (channel-connected components), each stage's rise/fall delays are
+// evaluated with QWM, and arrival times propagate from the primary inputs
+// to the requested outputs.
+//
+//	sta -deck chain.sp -inputs a0,b0 -outputs out
+//	sta -deck chain.sp -inputs 'a0,b0@150p' -outputs out   # b0 arrives late
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/netlist"
+	"qwm/internal/sta"
+)
+
+func main() {
+	var (
+		deckPath = flag.String("deck", "", "SPICE-style deck file (default: stdin)")
+		inputs   = flag.String("inputs", "", "comma-separated primary inputs, each optionally net@arrival (e.g. a,b@100p)")
+		outputs  = flag.String("outputs", "out", "comma-separated primary outputs")
+		verbose  = flag.Bool("v", false, "print the arrival of every net")
+	)
+	flag.Parse()
+	if err := run(*deckPath, *inputs, *outputs, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "sta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deckPath, inputs, outputs string, verbose bool) error {
+	in := os.Stdin
+	if deckPath != "" {
+		f, err := os.Open(deckPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	deck, err := netlist.Parse(in)
+	if err != nil {
+		return err
+	}
+	primary := map[string]sta.Arrival{}
+	for _, spec := range strings.Split(inputs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		net, at, found := strings.Cut(spec, "@")
+		ar := sta.Arrival{}
+		if found {
+			v, err := netlist.ParseValue(at)
+			if err != nil {
+				return fmt.Errorf("input %q: %w", spec, err)
+			}
+			ar = sta.Arrival{Rise: v, Fall: v}
+		}
+		primary[net] = ar
+	}
+	outs := strings.Split(outputs, ",")
+	for i := range outs {
+		outs[i] = strings.TrimSpace(outs[i])
+	}
+
+	tech := mos.CMOSP35()
+	a := sta.New(tech, devmodel.NewLibrary(tech))
+	res, err := a.Analyze(deck.Netlist, primary, outs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deck: %s\n", deck.Title)
+	fmt.Printf("stage evaluations: %d\n", res.StagesEvaluated)
+	fmt.Printf("worst arrival: %.4g s at %q\n", res.WorstArrival, res.WorstOutput)
+	fmt.Printf("critical path (latest first): %s\n", strings.Join(res.CriticalPath, " <- "))
+	if verbose {
+		nets := make([]string, 0, len(res.Arrivals))
+		for n := range res.Arrivals {
+			nets = append(nets, n)
+		}
+		sort.Strings(nets)
+		fmt.Println("\nnet arrivals:")
+		for _, n := range nets {
+			ar := res.Arrivals[n]
+			fmt.Printf("  %-10s rise %.4g  fall %.4g\n", n, ar.Rise, ar.Fall)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Package qwm is a from-scratch Go reproduction of "Transistor-Level Static
+// Timing Analysis by Piecewise Quadratic Waveform Matching" (Wang & Zhu,
+// DATE 2003).
+//
+// The repository contains the paper's contribution — the QWM waveform
+// evaluation engine (internal/qwm) — together with every substrate it needs
+// and every baseline it is measured against: a golden analytic MOSFET model
+// (internal/mos), the tabular characterized device model of §V-A
+// (internal/devmodel), a SPICE-class Newton–Raphson transient simulator
+// (internal/spice), RC interconnect reduction by AWE/moment matching
+// (internal/awe), a successive-chord integration engine in the TETA family
+// (internal/sc), a switch-level Elmore baseline (internal/switchlevel), the
+// circuit/stage/path model of §III (internal/circuit), a SPICE-deck parser
+// (internal/netlist), the paper's benchmark workloads (internal/stages) and
+// the experiment harness that regenerates its tables and figures
+// (internal/bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured paper-versus-reproduction numbers. The
+// benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package qwm

@@ -1,0 +1,61 @@
+// Characterize: the paper's §V-A device characterization flow. The golden
+// analytic MOSFET model is swept on a 0.1 V (Vg, Vs) grid and compressed
+// into seven fitted parameters per point — a linear saturation fit and a
+// quadratic triode fit split at Vdsat, plus the threshold (Fig. 8). This
+// example reports the table size, the storage the compression saves versus
+// a dense Vd-sampled table, and the fit quality at a representative
+// operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+)
+
+func main() {
+	tech := mos.CMOSP35()
+
+	start := time.Now()
+	tbl, err := devmodel.Characterize(&tech.N, tech, tech.LMin, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	entries := tbl.Entries()
+	fmt.Printf("characterized NMOS @ L=%.2f µm: %d×%d grid (%d entries) in %v\n",
+		tech.LMin*1e6, tbl.N, tbl.N, entries, elapsed)
+	fmt.Printf("storage: %d floats (7 per entry) ≈ %.1f KiB\n",
+		entries*7, float64(entries*7*8)/1024)
+	dense := entries * 34 // a 0.1 V Vd sweep per (Vg, Vs) pair
+	fmt.Printf("dense tabulation would need ≈ %d samples ≈ %.1f KiB (%.1f× more)\n",
+		dense, float64(dense*8)/1024, float64(dense)/float64(entries*7))
+
+	// Fit quality at full gate drive (the paper's Fig. 8 point).
+	ana := devmodel.NewAnalytic(&tech.N, tech, tech.LMin)
+	const vg, vs = 3.3, 0.0
+	fmt.Printf("\nI/V fit at Vg=%.1f, Vs=%.1f (Vdsat = %.3f V):\n", vg, vs, tbl.Vdsat(vg, vs))
+	fmt.Println("  Vds     golden(µA)   fitted(µA)   err%")
+	worst := 0.0
+	for vds := 0.1; vds <= 3.3; vds += 0.4 {
+		ia, _, _, _ := ana.IV(1e-6, vg, vs+vds, vs)
+		it, _, _, _ := tbl.IV(1e-6, vg, vs+vds, vs)
+		e := 100 * math.Abs(it-ia) / ia
+		if e > worst {
+			worst = e
+		}
+		fmt.Printf("  %4.1f   %10.2f   %10.2f   %5.2f\n", vds, ia*1e6, it*1e6, e)
+	}
+	fmt.Printf("worst fit error on this curve: %.2f %%\n", worst)
+
+	// Threshold and body effect straight from the table.
+	fmt.Println("\nbody effect (threshold vs source voltage):")
+	for _, v := range []float64{0, 0.5, 1.0, 1.5, 2.0} {
+		fmt.Printf("  Vs=%.1f  Vth=%.3f V\n", v, tbl.Threshold(v))
+	}
+}

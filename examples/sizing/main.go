@@ -1,0 +1,64 @@
+// Sizing: a design-loop application of QWM's speed. Optimizing the widths
+// of a 6-transistor discharge stack under a fixed area budget takes several
+// hundred delay evaluations — seconds with QWM, minutes with a SPICE-class
+// engine. The optimizer recovers the classic tapered profile (widest at the
+// rail, where the device carries every node's discharge current).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qwm/internal/bench"
+	"qwm/internal/mos"
+	"qwm/internal/qwm"
+	"qwm/internal/sizing"
+	"qwm/internal/stages"
+)
+
+func main() {
+	tech := mos.CMOSP35()
+	h, err := bench.NewHarness(tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const cl = 8e-15
+	eval := func(widths []float64) (float64, error) {
+		w, err := stages.Stack(tech, widths, cl, 0)
+		if err != nil {
+			return 0, err
+		}
+		run, err := h.RunQWM(w, qwm.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return run.Delay, nil
+	}
+
+	init := []float64{1.5e-6, 1.5e-6, 1.5e-6, 1.5e-6, 1.5e-6, 1.5e-6}
+	fmt.Println("minimizing the delay of a 6-NMOS stack, Σw = 9 µm fixed")
+	start := time.Now()
+	res, err := sizing.Minimize(sizing.Problem{
+		Eval: eval,
+		Init: init,
+		WMin: 0.6e-6,
+		WMax: 4e-6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nuniform:   %.2f ps\n", res.InitDelay*1e12)
+	fmt.Printf("optimized: %.2f ps  (%.1f%% faster)\n",
+		res.Delay*1e12, 100*(res.InitDelay-res.Delay)/res.InitDelay)
+	fmt.Printf("%d QWM evaluations in %v (%.0f µs per evaluation)\n",
+		res.Evaluations, elapsed, float64(elapsed.Microseconds())/float64(res.Evaluations))
+	fmt.Println("\nwidths, rail → output (µm):")
+	for i, w := range res.Widths {
+		fmt.Printf("  M%d: %.2f\n", i+1, w*1e6)
+	}
+	fmt.Println("\n(the taper is the textbook result: the rail device conducts the")
+	fmt.Println("discharge current of every node above it)")
+}

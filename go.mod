@@ -1,0 +1,3 @@
+module qwm
+
+go 1.22

@@ -1,0 +1,36 @@
+package awe_test
+
+import (
+	"fmt"
+
+	"qwm/internal/awe"
+)
+
+// Reduce a 1 mm wire (100 Ω, 200 fF) to its moment-matched π macro-model —
+// the preprocessing step the decoder-tree experiment applies before handing
+// wires to the QWM engine.
+func ExamplePiForWire() {
+	pi, err := awe.PiForWire(100, 200e-15)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("CNear = %.1f fF\n", pi.CNear*1e15)
+	fmt.Printf("R     = %.1f Ω\n", pi.R)
+	fmt.Printf("CFar  = %.1f fF\n", pi.CFar*1e15)
+	// Output:
+	// CNear = 33.3 fF
+	// R     = 48.0 Ω
+	// CFar  = 166.7 fF
+}
+
+// Elmore delay of a two-segment RC ladder by path tracing.
+func ExampleRCTree_Elmore() {
+	tr := awe.NewRCTree("drv")
+	_ = tr.AddNode("mid", "drv", 100, 2e-12)
+	_ = tr.AddNode("out", "mid", 300, 1e-12)
+	d, _ := tr.Elmore("out")
+	fmt.Printf("Elmore = %.0f ps\n", d*1e12)
+	// Output:
+	// Elmore = 600 ps
+}

@@ -1,0 +1,144 @@
+package awe
+
+import (
+	"fmt"
+	"math"
+
+	"qwm/internal/la"
+)
+
+// PadePoles matches 2q transfer moments m_1..m_2q (m_0 = 1 implied for RC
+// trees) to a q-pole approximation and returns the poles — the core of
+// asymptotic waveform evaluation (Pillage & Rohrer). Moments are indexed
+// m[0] = m_1.
+func PadePoles(m []float64, q int) ([]float64, error) {
+	if len(m) < 2*q {
+		return nil, fmt.Errorf("awe: need %d moments for %d poles, have %d", 2*q, q, len(m))
+	}
+	// Prepend m_0 = 1 so mm[k] = m_k.
+	mm := append([]float64{1}, m...)
+	// Hankel system for the denominator 1 + a1·s + … + aq·s^q:
+	// Σ_{j=1..q} a_j·m_{k-j} = −m_k for k = q..2q−1.
+	a := la.NewMatrix(q, q)
+	b := make([]float64, q)
+	for row := 0; row < q; row++ {
+		k := q + row
+		for j := 1; j <= q; j++ {
+			a.Set(row, j-1, mm[k-j])
+		}
+		b[row] = -mm[k]
+	}
+	coef, err := la.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("awe: singular moment matrix: %w", err)
+	}
+	// Denominator polynomial lowest-degree-first: 1 + a1 s + … + aq s^q.
+	den := make(la.Poly, q+1)
+	den[0] = 1
+	for j := 1; j <= q; j++ {
+		den[j] = coef[j-1]
+	}
+	roots, err := la.RealRoots(den)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) != q {
+		return nil, fmt.Errorf("awe: only %d of %d poles are real", len(roots), q)
+	}
+	for _, p := range roots {
+		if p >= 0 {
+			return nil, fmt.Errorf("awe: unstable pole %g", p)
+		}
+	}
+	return roots, nil
+}
+
+// Residues solves the moment-matching Vandermonde system
+// m_k = −Σ_i k_i / p_i^{k+1} for k = 0..q−1 (with m_0 = 1).
+func Residues(m []float64, poles []float64) ([]float64, error) {
+	q := len(poles)
+	mm := append([]float64{1}, m...)
+	if len(mm) < q {
+		return nil, fmt.Errorf("awe: need %d moments for residues", q)
+	}
+	a := la.NewMatrix(q, q)
+	b := make([]float64, q)
+	for k := 0; k < q; k++ {
+		for i, p := range poles {
+			a.Set(k, i, -1/math.Pow(p, float64(k+1)))
+		}
+		b[k] = mm[k]
+	}
+	return la.SolveDense(a, b)
+}
+
+// StepResponse is the AWE approximation of a node's unit-step response:
+// v(t) = 1 + Σ_i (k_i/p_i)·e^{p_i t}.
+type StepResponse struct {
+	Poles    []float64
+	Residues []float64
+}
+
+// NewStepResponse runs stable AWE on a node's moments, reducing the order
+// if the requested q yields unstable or complex poles (the classic AWE
+// fallback; PRIMA-style methods fix this properly, §II).
+func NewStepResponse(m []float64, q int) (*StepResponse, error) {
+	for ; q >= 1; q-- {
+		poles, err := PadePoles(m, q)
+		if err != nil {
+			continue
+		}
+		res, err := Residues(m, poles)
+		if err != nil {
+			continue
+		}
+		return &StepResponse{Poles: poles, Residues: res}, nil
+	}
+	return nil, fmt.Errorf("awe: no stable reduced-order model found")
+}
+
+// Eval implements wave.Waveform.
+func (s *StepResponse) Eval(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	v := 1.0
+	for i, p := range s.Poles {
+		v += s.Residues[i] / p * math.Exp(p*t)
+	}
+	return v
+}
+
+// Span implements wave.Waveform: the response settles after a few time
+// constants of the slowest pole.
+func (s *StepResponse) Span() (float64, float64) {
+	slowest := 0.0
+	for _, p := range s.Poles {
+		if tc := -1 / p; tc > slowest {
+			slowest = tc
+		}
+	}
+	return 0, 10 * slowest
+}
+
+// Crossing implements wave.Crosser by bisection (the response is smooth).
+func (s *StepResponse) Crossing(level float64, rising bool) (float64, bool) {
+	_, tEnd := s.Span()
+	lo, hi := 0.0, tEnd
+	f := func(t float64) float64 { return s.Eval(t) - level }
+	if f(lo)*f(hi) > 0 {
+		return 0, false
+	}
+	if rising && f(lo) > 0 || !rising && f(lo) < 0 {
+		return 0, false
+	}
+	for i := 0; i < 100 && hi-lo > 1e-18+1e-12*hi; i++ {
+		mid := 0.5 * (lo + hi)
+		if f(lo)*f(mid) <= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi), true
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Rows(t *testing.T) {
+	h := getHarness(t)
+	rows, err := h.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (inv, nand2..4)", len(rows))
+	}
+	out := FormatTable("Table I", rows)
+	for _, name := range []string{"inv", "nand2", "nand3", "nand4", "average"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("formatted table missing %q:\n%s", name, out)
+		}
+	}
+	// Delay grows with fan-in.
+	if !(rows[0].RefDelayPs < rows[1].RefDelayPs && rows[1].RefDelayPs < rows[3].RefDelayPs) {
+		t.Errorf("delays not growing with fan-in: %v %v %v",
+			rows[0].RefDelayPs, rows[1].RefDelayPs, rows[3].RefDelayPs)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table II sweep is slow")
+	}
+	h := getHarness(t)
+	rows, err := h.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18 (K=5..10 × 3)", len(rows))
+	}
+	worst, sum := 0.0, 0.0
+	for _, r := range rows {
+		sum += r.ErrorPct
+		if r.ErrorPct > worst {
+			worst = r.ErrorPct
+		}
+	}
+	if avg := sum / float64(len(rows)); avg > 2.0 {
+		t.Errorf("Table II average error %.2f%%", avg)
+	}
+	if worst > 4.5 {
+		t.Errorf("Table II worst error %.2f%%", worst)
+	}
+}
+
+func TestFig5Surface(t *testing.T) {
+	h := getHarness(t)
+	series, err := h.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Current at Vd = VDD decreases as Vs rises (lower drive + body effect).
+	last := func(s *Series) float64 { return s.Y[len(s.Y)-1] }
+	for i := 1; i < len(series); i++ {
+		if last(series[i]) >= last(series[i-1]) {
+			t.Errorf("Ids should fall with Vs: series %d", i)
+		}
+	}
+	if out := FormatSeries(series); !strings.Contains(out, "Ids(Vs=0.0)") {
+		t.Error("series header missing")
+	}
+}
+
+// Fig. 7's observation is the core of the method: each node current has a
+// single dominant peak, and the peaks are ordered bottom-up.
+func TestFig7SinglePeakObservation(t *testing.T) {
+	h := getHarness(t)
+	series, err := h.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series = %d, want 6", len(series))
+	}
+	prevPeak := -1.0
+	for k, s := range series[:5] { // the output node's current has no upper turn-on
+		// Find the (most negative) discharge peak.
+		minV, minT := 0.0, 0.0
+		for i, y := range s.Y {
+			if y < minV {
+				minV, minT = y, s.X[i]
+			}
+		}
+		if minV >= 0 {
+			t.Fatalf("node %d never discharges", k+1)
+		}
+		if minT < prevPeak-2e-12 {
+			t.Errorf("node %d peak at %g before node %d peak at %g", k+1, minT, k, prevPeak)
+		}
+		prevPeak = minT
+	}
+}
+
+func TestFig8FitTracksSamples(t *testing.T) {
+	h := getHarness(t)
+	series, err := h.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, fit := series[0], series[1]
+	for i := range samples.Y {
+		d := samples.Y[i] - fit.Y[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.04*samples.Y[len(samples.Y)-1] {
+			t.Errorf("fit deviates at Vds=%.2f: %g vs %g", samples.X[i], fit.Y[i], samples.Y[i])
+		}
+	}
+}
+
+func TestFig9WaveformsTrack(t *testing.T) {
+	h := getHarness(t)
+	series, err := h.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 12 { // 6 nodes × (qwm, spice)
+		t.Fatalf("series = %d", len(series))
+	}
+	// RMS deviation between each pair stays below ~5 % of VDD over the whole
+	// window (which includes QWM's flat extrapolation below the last
+	// matched level, where SPICE keeps discharging toward zero).
+	for i := 0; i < len(series); i += 2 {
+		q, s := series[i], series[i+1]
+		var acc float64
+		for p := range q.Y {
+			d := q.Y[p] - s.Y[p]
+			acc += d * d
+		}
+		rms := math.Sqrt(acc / float64(len(q.Y)))
+		if rms > 0.05*h.Tech.VDD {
+			t.Errorf("%s vs %s: rms = %g V", q.Name, s.Name, rms)
+		}
+	}
+}
+
+func TestFig10DecoderPairs(t *testing.T) {
+	h := getHarness(t)
+	series, err := h.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 10 {
+		t.Fatalf("series = %d", len(series))
+	}
+	out := FormatSeries(series)
+	if !strings.Contains(out, "qwm:out") || !strings.Contains(out, "spice:out") {
+		t.Error("output node series missing")
+	}
+}

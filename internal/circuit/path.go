@@ -1,0 +1,134 @@
+package circuit
+
+import "fmt"
+
+// PathElem is one element of a series charge/discharge path, oriented so
+// Lower is the terminal closer to the rail.
+type PathElem struct {
+	Edge         *StageEdge
+	Lower, Upper string
+}
+
+// Path is a series element chain from a rail to an output node:
+// Elems[0].Lower is the rail, Elems[k].Upper == Elems[k+1].Lower, and the
+// last element's Upper is the output. QWM's "stack of K transistors"
+// (paper Fig. 6) is exactly this structure, possibly with resistive wire
+// elements interleaved (paper Fig. 3).
+type Path struct {
+	Rail   string
+	Output string
+	Elems  []PathElem
+}
+
+// Transistors returns the number of transistor elements on the path — the K
+// in the paper's "K DC operating point calculations".
+func (p *Path) Transistors() int {
+	k := 0
+	for _, e := range p.Elems {
+		if e.Edge.Kind == KindNMOS || e.Edge.Kind == KindPMOS {
+			k++
+		}
+	}
+	return k
+}
+
+// InternalNodes returns the node names between elements plus the output:
+// node k (1-based) is Elems[k-1].Upper.
+func (p *Path) InternalNodes() []string {
+	out := make([]string, len(p.Elems))
+	for i, e := range p.Elems {
+		out[i] = e.Upper
+	}
+	return out
+}
+
+// EnumeratePaths returns every simple path through the stage from the given
+// output node to the given rail ("0" or "vdd"). Stages are small, so plain
+// DFS enumeration is fine.
+func EnumeratePaths(st *Stage, output, rail string) []*Path {
+	output = CanonName(output)
+	rail = CanonName(rail)
+	adj := map[string][]*StageEdge{}
+	for _, e := range st.Edges {
+		adj[e.Src] = append(adj[e.Src], e)
+		adj[e.Snk] = append(adj[e.Snk], e)
+	}
+	var paths []*Path
+	visited := map[string]bool{output: true}
+	var stack []PathElem
+	var dfs func(node string)
+	dfs = func(node string) {
+		if node == rail {
+			// stack runs output→rail; reverse into rail→output order.
+			elems := make([]PathElem, len(stack))
+			for i, pe := range stack {
+				elems[len(stack)-1-i] = pe
+			}
+			paths = append(paths, &Path{Rail: rail, Output: output, Elems: elems})
+			return
+		}
+		for _, e := range adj[node] {
+			next := e.Src
+			if next == node {
+				next = e.Snk
+			}
+			if next == node { // self loop, should not happen
+				continue
+			}
+			// Do not pass through the other rail.
+			if other := otherRail(rail); next == other {
+				continue
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			// Upper is the side away from the rail: while descending from the
+			// output, the current node is Upper.
+			stack = append(stack, PathElem{Edge: e, Lower: next, Upper: node})
+			dfs(next)
+			stack = stack[:len(stack)-1]
+			visited[next] = false
+		}
+	}
+	dfs(output)
+	return paths
+}
+
+func otherRail(rail string) string {
+	if rail == GroundNode {
+		return SupplyNode
+	}
+	return GroundNode
+}
+
+// LongestPath returns the path with the most series transistors — the static
+// timing analysis worst case the paper analyzes. Ties break toward more
+// total elements, then lexicographically by the first differing lower node
+// for determinism.
+func LongestPath(st *Stage, output, rail string) (*Path, error) {
+	paths := EnumeratePaths(st, output, rail)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("circuit: no path from %q to rail %q in stage %s", output, rail, st.Name)
+	}
+	best := paths[0]
+	for _, p := range paths[1:] {
+		switch {
+		case p.Transistors() > best.Transistors():
+			best = p
+		case p.Transistors() == best.Transistors() && len(p.Elems) > len(best.Elems):
+			best = p
+		case p.Transistors() == best.Transistors() && len(p.Elems) == len(best.Elems) && pathKey(p) < pathKey(best):
+			best = p
+		}
+	}
+	return best, nil
+}
+
+func pathKey(p *Path) string {
+	s := ""
+	for _, e := range p.Elems {
+		s += e.Lower + "/"
+	}
+	return s
+}

@@ -1,0 +1,194 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stage is the paper's Definition 1: a CMOS logic stage as a polar directed
+// graph. Vertices are circuit nodes (with VDD as source pole and ground as
+// sink pole); edges are the channel terminals of transistors and resistive
+// wire segments. Inputs are the gate nets of the stage's transistors;
+// outputs are the nodes observed by downstream logic.
+type Stage struct {
+	Name    string
+	Nodes   []string // internal + boundary nodes, sorted, excluding rails
+	Edges   []*StageEdge
+	Inputs  []string // gate net names, sorted
+	Outputs []string // observed node names
+}
+
+// StageEdge is one element of the stage graph.
+type StageEdge struct {
+	Kind DeviceKind // KindNMOS, KindPMOS or KindWire
+	Src  string     // node closer to the supply pole by convention
+	Snk  string
+	Gate string  // input net for transistors, "" for wires
+	W, L float64 // transistor geometry
+	R    float64 // wire resistance (KindWire)
+	Ref  *Transistor
+}
+
+// ExtractStages partitions a netlist into logic stages by channel-connected
+// components: transistors whose source/drain terminals are transitively
+// connected through non-rail nodes belong to the same stage (the paper's
+// "set of channel-connected transistors and wire segments"). Resistors join
+// components the same way wires do. Gate terminals do NOT connect stages —
+// that is the partition boundary that makes per-stage analysis possible.
+//
+// driven lists nets driven by sources (rails and primary inputs); they act
+// as partition boundaries like rails. Outputs of each stage are the nodes
+// that appear as gate inputs of some *other* component or are listed in
+// observed.
+func ExtractStages(n *Netlist, observed []string) []*Stage {
+	isBoundary := map[string]bool{GroundNode: true, SupplyNode: true}
+	for _, v := range n.VSources {
+		isBoundary[v.A] = true
+	}
+
+	// Union-find over non-boundary nodes touched by channel terminals.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p != x {
+			parent[x] = find(p)
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	connect := func(a, b string) {
+		switch {
+		case isBoundary[a] && isBoundary[b]:
+		case isBoundary[a]:
+			find(b)
+		case isBoundary[b]:
+			find(a)
+		default:
+			union(a, b)
+		}
+	}
+	for _, t := range n.Transistors {
+		connect(t.Drain, t.Source)
+	}
+	for _, r := range n.Resistors {
+		connect(r.A, r.B)
+	}
+
+	// Group elements by the component of their non-boundary terminals.
+	groups := map[string]*group{}
+	groupOf := func(nodes ...string) *group {
+		for _, nd := range nodes {
+			if !isBoundary[nd] {
+				root := find(nd)
+				g := groups[root]
+				if g == nil {
+					g = &group{nodes: map[string]bool{}}
+					groups[root] = g
+				}
+				return g
+			}
+		}
+		return nil
+	}
+	addNodes := func(g *group, nodes ...string) {
+		for _, nd := range nodes {
+			if !isBoundary[nd] {
+				g.nodes[nd] = true
+			}
+		}
+	}
+	for _, t := range n.Transistors {
+		g := groupOf(t.Drain, t.Source)
+		if g == nil {
+			continue // degenerate: both channel terminals on rails
+		}
+		addNodes(g, t.Drain, t.Source)
+		kind := t.Kind
+		g.edges = append(g.edges, &StageEdge{
+			Kind: kind, Src: t.Drain, Snk: t.Source, Gate: t.Gate,
+			W: t.W, L: t.L, Ref: t,
+		})
+	}
+	for _, r := range n.Resistors {
+		g := groupOf(r.A, r.B)
+		if g == nil {
+			continue
+		}
+		addNodes(g, r.A, r.B)
+		g.edges = append(g.edges, &StageEdge{Kind: KindWire, Src: r.A, Snk: r.B, R: r.R})
+	}
+
+	// Which nodes feed gates elsewhere? Those are implicit outputs.
+	gateNets := map[string]bool{}
+	for _, t := range n.Transistors {
+		gateNets[t.Gate] = true
+	}
+	obs := map[string]bool{}
+	for _, o := range observed {
+		obs[CanonName(o)] = true
+	}
+
+	// Deterministic ordering of stages by their smallest node name.
+	roots := make([]string, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return groups[roots[i]].min() < groups[roots[j]].min()
+	})
+
+	var stages []*Stage
+	for si, root := range roots {
+		g := groups[root]
+		st := &Stage{Name: fmt.Sprintf("stage%d", si)}
+		for nd := range g.nodes {
+			st.Nodes = append(st.Nodes, nd)
+		}
+		sort.Strings(st.Nodes)
+		st.Edges = g.edges
+		inSet := map[string]bool{}
+		for _, e := range g.edges {
+			if e.Gate != "" {
+				inSet[e.Gate] = true
+			}
+		}
+		for in := range inSet {
+			st.Inputs = append(st.Inputs, in)
+		}
+		sort.Strings(st.Inputs)
+		for _, nd := range st.Nodes {
+			if gateNets[nd] || obs[nd] {
+				st.Outputs = append(st.Outputs, nd)
+			}
+		}
+		stages = append(stages, st)
+	}
+	return stages
+}
+
+// group accumulates the nodes and edges of one channel-connected component
+// during stage extraction.
+type group struct {
+	nodes map[string]bool
+	edges []*StageEdge
+}
+
+func (g *group) min() string {
+	first := ""
+	for nd := range g.nodes {
+		if first == "" || nd < first {
+			first = nd
+		}
+	}
+	return first
+}

@@ -1,0 +1,305 @@
+package devmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qwm/internal/mos"
+)
+
+var (
+	tech   = mos.CMOSP35()
+	nTable *Table
+	pTable *Table
+)
+
+func init() {
+	var err error
+	nTable, err = Characterize(&tech.N, tech, 0.35e-6, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	pTable, err = Characterize(&tech.P, tech, 0.35e-6, 0.1)
+	if err != nil {
+		panic(err)
+	}
+}
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestTableMatchesAnalyticOnGrid(t *testing.T) {
+	// At grid points, only the Vds fit error remains (the paper's Fig. 8
+	// residual): require better than 3.5 % — the worst case sits at the
+	// triode/saturation knee the two-piece fit straddles.
+	ana := NewAnalytic(&tech.N, tech, 0.35e-6)
+	w := 1e-6
+	for _, vg := range []float64{1.0, 2.0, 3.3} {
+		for _, vs := range []float64{0, 0.5, 1.5} {
+			for _, vd := range []float64{0.2, 1.0, 2.2, 3.3} {
+				if vd <= vs {
+					continue
+				}
+				it, _, _, _ := nTable.IV(w, vg, vd, vs)
+				ia, _, _, _ := ana.IV(w, vg, vd, vs)
+				if math.Abs(it-ia) > 0.035*math.Abs(ia)+1e-7 {
+					t.Errorf("vg=%g vd=%g vs=%g: table %g vs analytic %g", vg, vd, vs, it, ia)
+				}
+			}
+		}
+	}
+}
+
+// The table's average relative error over the strong-inversion operating
+// space must stay near the paper's ~1 % characterization quality.
+func TestTableAverageAccuracyStrongInversion(t *testing.T) {
+	ana := NewAnalytic(&tech.N, tech, 0.35e-6)
+	sum, cnt := 0.0, 0
+	for vg := 0.8; vg <= 3.31; vg += 0.137 {
+		for vs := 0.0; vs <= 2.4; vs += 0.117 {
+			if vg-vs-tech.N.Vth(vs, 0) < 0.3 {
+				continue
+			}
+			for vd := vs + 0.05; vd <= 3.3; vd += 0.093 {
+				it, _, _, _ := nTable.IV(1e-6, vg, vd, vs)
+				ia, _, _, _ := ana.IV(1e-6, vg, vd, vs)
+				sum += math.Abs(it-ia) / (math.Abs(ia) + 1e-6)
+				cnt++
+			}
+		}
+	}
+	avg := 100 * sum / float64(cnt)
+	if avg > 2.0 {
+		t.Errorf("average strong-inversion error %.2f%%, want < 2%%", avg)
+	}
+}
+
+// Property: off-grid strong-inversion queries stay within bilinear
+// interpolation distance of the analytic model. Near threshold the current
+// varies super-linearly across a 0.1 V grid cell, so the guarantee is
+// restricted to healthy gate overdrive — the regime that carries the
+// discharge current.
+func TestTableAccuracyOffGridProperty(t *testing.T) {
+	ana := NewAnalytic(&tech.N, tech, 0.35e-6)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := 2.0 * r.Float64()
+		vth := tech.N.Vth(vs, 0)
+		vg := vs + vth + 0.5 + (3.3-vs-vth-0.5)*r.Float64()
+		if vg > 3.3 {
+			return true
+		}
+		vd := vs + 0.05 + (3.3-vs-0.05)*r.Float64()
+		w := (0.5 + 4*r.Float64()) * 1e-6
+		it, _, _, _ := nTable.IV(w, vg, vd, vs)
+		ia, _, _, _ := ana.IV(w, vg, vd, vs)
+		return math.Abs(it-ia) <= 0.08*math.Abs(ia)+1e-6*w/1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableWidthScaling(t *testing.T) {
+	i1, _, _, _ := nTable.IV(1e-6, 3.3, 2.0, 0)
+	i2, _, _, _ := nTable.IV(3e-6, 3.3, 2.0, 0)
+	if !feq(i2, 3*i1, 1e-12) {
+		t.Errorf("width scaling: %g vs %g", i2, 3*i1)
+	}
+}
+
+func TestTableReverseConduction(t *testing.T) {
+	// vd < vs: current must be the negated swap.
+	fwd, _, _, _ := nTable.IV(1e-6, 3.3, 2.0, 1.0)
+	rev, _, _, _ := nTable.IV(1e-6, 3.3, 1.0, 2.0)
+	if !feq(rev, -fwd, 1e-12) {
+		t.Errorf("reverse = %g, want %g", rev, -fwd)
+	}
+}
+
+func TestTableDerivativesMatchFD(t *testing.T) {
+	w := 1.5e-6
+	const h = 1e-4
+	// Interior points only: at the vg = VDD grid boundary a central finite
+	// difference straddles the clamped extrapolation region.
+	for _, c := range []struct{ vg, vd, vs float64 }{
+		{3.15, 2.5, 0.4}, {2.2, 1.7, 0.9}, {1.4, 0.8, 0.15}, {3.0, 3.1, 2.3},
+	} {
+		_, dvg, dvd, dvs := nTable.IV(w, c.vg, c.vd, c.vs)
+		ip := func(vg, vd, vs float64) float64 {
+			i, _, _, _ := nTable.IV(w, vg, vd, vs)
+			return i
+		}
+		fdg := (ip(c.vg+h, c.vd, c.vs) - ip(c.vg-h, c.vd, c.vs)) / (2 * h)
+		fdd := (ip(c.vg, c.vd+h, c.vs) - ip(c.vg, c.vd-h, c.vs)) / (2 * h)
+		fds := (ip(c.vg, c.vd, c.vs+h) - ip(c.vg, c.vd, c.vs-h)) / (2 * h)
+		scale := math.Abs(ip(c.vg, c.vd, c.vs)) + 1e-6
+		// The interpolant is piecewise; allow loose agreement away from cell
+		// boundaries.
+		if math.Abs(dvg-fdg) > 0.02*scale/0.1 && math.Abs(dvg-fdg) > 0.05*math.Abs(fdg)+1e-7 {
+			t.Errorf("%+v: dvg %g vs fd %g", c, dvg, fdg)
+		}
+		if math.Abs(dvd-fdd) > 0.05*math.Abs(fdd)+1e-7 {
+			t.Errorf("%+v: dvd %g vs fd %g", c, dvd, fdd)
+		}
+		if math.Abs(dvs-fds) > 0.05*math.Abs(fds)+0.03*scale/0.1+1e-7 {
+			t.Errorf("%+v: dvs %g vs fd %g", c, dvs, fds)
+		}
+	}
+}
+
+func TestPMOSFoldedTableMatchesGolden(t *testing.T) {
+	// Folded PMOS current at (vg', vd', vs') equals −Ids at unfolded nodes.
+	w := 2e-6
+	for _, c := range []struct{ vg, vd, vs float64 }{
+		{3.3, 2.5, 0.3}, {2.5, 1.5, 0.2}, {3.0, 3.0, 1.0},
+	} {
+		it, _, _, _ := pTable.IV(w, c.vg, c.vd, c.vs)
+		want := -tech.P.Ids(w, 0.35e-6, tech.VDD-c.vg, tech.VDD-c.vd, tech.VDD-c.vs, tech.VDD).I
+		if math.Abs(it-want) > 0.05*math.Abs(want)+1e-6 {
+			t.Errorf("%+v: folded table %g vs golden %g", c, it, want)
+		}
+		if want > 0 && it <= 0 {
+			t.Errorf("%+v: folded current should be positive", c)
+		}
+	}
+}
+
+func TestThresholdInterpolation(t *testing.T) {
+	// Table threshold should track the golden Vth within interpolation error.
+	for _, vs := range []float64{0, 0.37, 1.0, 2.21} {
+		got := nTable.Threshold(vs)
+		want := tech.N.Vth(vs, 0)
+		if math.Abs(got-want) > 5e-3 {
+			t.Errorf("Threshold(%g) = %g, want %g", vs, got, want)
+		}
+	}
+	if nTable.Threshold(0) >= nTable.Threshold(1.5) {
+		t.Error("threshold should rise with source voltage (body effect)")
+	}
+}
+
+func TestVdsatInterpolation(t *testing.T) {
+	got := nTable.Vdsat(3.3, 0)
+	want := tech.N.VdsatValue(0.35e-6, 3.3, 0, 0)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("Vdsat = %g, want %g", got, want)
+	}
+	if nTable.Vdsat(1.2, 0) >= nTable.Vdsat(3.3, 0) {
+		t.Error("Vdsat should grow with gate drive")
+	}
+}
+
+func TestEntryEvalContinuity(t *testing.T) {
+	// Triode and saturation fits should roughly meet at Vdsat for a strongly
+	// on grid point.
+	ig, is := nTable.N-1, 0 // vg = VDD, vs = 0
+	e := &nTable.Grid[ig][is]
+	iT, _ := e.Eval(e.Vdsat - 1e-9)
+	iS, _ := e.Eval(e.Vdsat + 1e-9)
+	if math.Abs(iT-iS) > 0.03*math.Abs(iS) {
+		t.Errorf("fit discontinuity at Vdsat: %g vs %g", iT, iS)
+	}
+}
+
+func TestTableOffStateSmallCurrent(t *testing.T) {
+	i, _, _, _ := nTable.IV(1e-6, 0, 3.3, 0)
+	if math.Abs(i) > 1e-7 {
+		t.Errorf("off-state current too large: %g", i)
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	if _, err := Characterize(&tech.N, tech, 0.35e-6, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Characterize(&tech.N, tech, 0, 0.1); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestLibraryCaches(t *testing.T) {
+	lib := NewLibrary(tech)
+	t1, err := lib.Table(mos.NMOS, 0.35e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := lib.Table(mos.NMOS, 0.35e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("library did not cache the table")
+	}
+	t3, err := lib.Table(mos.PMOS, 0.35e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("distinct polarity should get a distinct table")
+	}
+	if t1.Entries() != t1.N*t1.N {
+		t.Error("Entries accounting wrong")
+	}
+}
+
+func TestAnalyticAdapterDerivatives(t *testing.T) {
+	ana := NewAnalytic(&tech.P, tech, 0.35e-6)
+	const h = 1e-6
+	vg, vd, vs, w := 2.8, 2.0, 0.4, 1e-6
+	_, dvg, dvd, dvs := ana.IV(w, vg, vd, vs)
+	ip := func(vg, vd, vs float64) float64 {
+		i, _, _, _ := ana.IV(w, vg, vd, vs)
+		return i
+	}
+	fdg := (ip(vg+h, vd, vs) - ip(vg-h, vd, vs)) / (2 * h)
+	fdd := (ip(vg, vd+h, vs) - ip(vg, vd-h, vs)) / (2 * h)
+	fds := (ip(vg, vd, vs+h) - ip(vg, vd, vs-h)) / (2 * h)
+	if !feq(dvg, fdg, 1e-3) || !feq(dvd, fdd, 1e-3) || !feq(dvs, fds, 1e-3) {
+		t.Errorf("folded analytic derivatives mismatch FD: (%g,%g,%g) vs (%g,%g,%g)",
+			dvg, dvd, dvs, fdg, fdd, fds)
+	}
+}
+
+// Ablation: halving the characterization grid pitch reduces the average
+// interpolation error (the paper's "as long as the grid size is fine
+// enough" remark, traded against table memory).
+func TestGridPitchAblation(t *testing.T) {
+	ana := NewAnalytic(&tech.N, tech, 0.35e-6)
+	avgErr := func(tbl *Table) float64 {
+		sum, cnt := 0.0, 0
+		for vg := 0.9; vg <= 3.3; vg += 0.17 {
+			for vs := 0.0; vs <= 2.2; vs += 0.13 {
+				if vg-vs-tech.N.Vth(vs, 0) < 0.3 {
+					continue
+				}
+				for vd := vs + 0.07; vd <= 3.3; vd += 0.21 {
+					it, _, _, _ := tbl.IV(1e-6, vg, vd, vs)
+					ia, _, _, _ := ana.IV(1e-6, vg, vd, vs)
+					sum += math.Abs(it-ia) / (math.Abs(ia) + 1e-6)
+					cnt++
+				}
+			}
+		}
+		return sum / float64(cnt)
+	}
+	coarse, err := Characterize(&tech.N, tech, 0.35e-6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Characterize(&tech.N, tech, 0.35e-6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCoarse, eMid, eFine := avgErr(coarse), avgErr(nTable), avgErr(fine)
+	if !(eFine < eMid && eMid < eCoarse) {
+		t.Errorf("error should fall with pitch: 0.3V %.4f, 0.1V %.4f, 0.05V %.4f",
+			eCoarse, eMid, eFine)
+	}
+	// Memory grows roughly quadratically with 1/pitch (≈ 3.9× from the
+	// +1-fencepost at this range).
+	if fine.Entries() <= 3*nTable.Entries() {
+		t.Errorf("entry counts: fine %d vs default %d", fine.Entries(), nTable.Entries())
+	}
+}

@@ -1,0 +1,117 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// NewtonProblem describes a nonlinear system F(x) = 0 for the damped
+// Newton–Raphson driver. Eval must fill f (the residual) and jac (the dense
+// Jacobian ∂F/∂x) at the point x. All slices have length N; jac is N×N.
+type NewtonProblem struct {
+	N    int
+	Eval func(x []float64, f []float64, jac *Matrix)
+	// FTol is the residual infinity-norm convergence threshold.
+	FTol float64
+	// XTol is the update infinity-norm convergence threshold.
+	XTol float64
+	// MaxIter bounds the iteration count (default 100).
+	MaxIter int
+	// Damping enables a halving line search on the residual norm when a full
+	// Newton step increases ||F||.
+	Damping bool
+	// Clamp, when non-nil, is applied to the candidate x after each update to
+	// keep iterates inside the model's valid region.
+	Clamp func(x []float64)
+}
+
+// NewtonResult reports the outcome of a Newton solve.
+type NewtonResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// SolveNewton runs damped Newton–Raphson from x0. It returns the best iterate
+// found together with convergence information; err is non-nil only for
+// unrecoverable linear-algebra failures.
+func SolveNewton(p NewtonProblem, x0 []float64) (NewtonResult, error) {
+	if len(x0) != p.N {
+		panic("la: SolveNewton initial guess dimension mismatch")
+	}
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	fTol := p.FTol
+	if fTol == 0 {
+		fTol = 1e-9
+	}
+	xTol := p.XTol
+	if xTol == 0 {
+		xTol = 1e-12
+	}
+
+	x := append([]float64(nil), x0...)
+	f := make([]float64, p.N)
+	jac := NewMatrix(p.N, p.N)
+	trial := make([]float64, p.N)
+	ftrial := make([]float64, p.N)
+
+	p.Eval(x, f, jac)
+	fn := VecNormInf(f)
+
+	for iter := 1; iter <= maxIter; iter++ {
+		if fn <= fTol {
+			return NewtonResult{X: x, Iterations: iter - 1, Residual: fn, Converged: true}, nil
+		}
+		neg := make([]float64, p.N)
+		for i, v := range f {
+			neg[i] = -v
+		}
+		dx, err := SolveDense(jac, neg)
+		if err != nil {
+			return NewtonResult{X: x, Iterations: iter, Residual: fn}, fmt.Errorf("newton iteration %d: %w", iter, err)
+		}
+
+		lambda := 1.0
+		accepted := false
+		for try := 0; try < 12; try++ {
+			for i := range trial {
+				trial[i] = x[i] + lambda*dx[i]
+			}
+			if p.Clamp != nil {
+				p.Clamp(trial)
+			}
+			p.Eval(trial, ftrial, jac)
+			fnTrial := VecNormInf(ftrial)
+			if !p.Damping || fnTrial < fn || math.IsNaN(fn) {
+				if math.IsNaN(fnTrial) || math.IsInf(fnTrial, 0) {
+					lambda /= 2
+					continue
+				}
+				copy(x, trial)
+				copy(f, ftrial)
+				fn = fnTrial
+				accepted = true
+				break
+			}
+			lambda /= 2
+		}
+		if !accepted {
+			// Stuck: accept the last (smallest) damped step anyway to avoid
+			// cycling, unless it is non-finite.
+			fnTrial := VecNormInf(ftrial)
+			if !math.IsNaN(fnTrial) && !math.IsInf(fnTrial, 0) {
+				copy(x, trial)
+				copy(f, ftrial)
+				fn = fnTrial
+			}
+		}
+		if VecNormInf(dx)*lambda <= xTol && fn <= math.Sqrt(fTol) {
+			return NewtonResult{X: x, Iterations: iter, Residual: fn, Converged: fn <= fTol*1e3}, nil
+		}
+	}
+	return NewtonResult{X: x, Iterations: maxIter, Residual: fn, Converged: fn <= fTol}, nil
+}

@@ -1,0 +1,135 @@
+package la
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewtonScalarSqrt(t *testing.T) {
+	// Solve x² - 2 = 0.
+	p := NewtonProblem{
+		N: 1,
+		Eval: func(x, f []float64, jac *Matrix) {
+			f[0] = x[0]*x[0] - 2
+			jac.Set(0, 0, 2*x[0])
+		},
+		FTol: 1e-12,
+	}
+	res, err := SolveNewton(p, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if !almostEq(res.X[0], math.Sqrt2, 1e-10) {
+		t.Errorf("x = %g, want sqrt(2)", res.X[0])
+	}
+}
+
+func TestNewtonCoupledSystem(t *testing.T) {
+	// x² + y² = 4, x·y = 1 -> a known intersection near (1.93, 0.52).
+	p := NewtonProblem{
+		N: 2,
+		Eval: func(x, f []float64, jac *Matrix) {
+			f[0] = x[0]*x[0] + x[1]*x[1] - 4
+			f[1] = x[0]*x[1] - 1
+			jac.Set(0, 0, 2*x[0])
+			jac.Set(0, 1, 2*x[1])
+			jac.Set(1, 0, x[1])
+			jac.Set(1, 1, x[0])
+		},
+		FTol:    1e-12,
+		Damping: true,
+	}
+	res, err := SolveNewton(p, []float64{2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	x, y := res.X[0], res.X[1]
+	if !almostEq(x*x+y*y, 4, 1e-9) || !almostEq(x*y, 1, 1e-9) {
+		t.Errorf("solution (%g, %g) does not satisfy the system", x, y)
+	}
+}
+
+func TestNewtonDampingHelpsSteepResidual(t *testing.T) {
+	// arctan has a famous Newton divergence for |x0| > ~1.39 without damping.
+	mk := func(damping bool) NewtonResult {
+		p := NewtonProblem{
+			N: 1,
+			Eval: func(x, f []float64, jac *Matrix) {
+				f[0] = math.Atan(x[0])
+				jac.Set(0, 0, 1/(1+x[0]*x[0]))
+			},
+			FTol:    1e-10,
+			MaxIter: 60,
+			Damping: damping,
+		}
+		res, _ := SolveNewton(p, []float64{3})
+		return res
+	}
+	damped := mk(true)
+	if !damped.Converged || math.Abs(damped.X[0]) > 1e-8 {
+		t.Errorf("damped Newton failed on atan: %+v", damped)
+	}
+}
+
+func TestNewtonClamp(t *testing.T) {
+	// Solve log(x) = 0 with a clamp keeping x positive; undamped Newton from
+	// x0 = 3 would step to a negative x where log is undefined.
+	p := NewtonProblem{
+		N: 1,
+		Eval: func(x, f []float64, jac *Matrix) {
+			f[0] = math.Log(x[0])
+			jac.Set(0, 0, 1/x[0])
+		},
+		FTol:    1e-12,
+		Damping: true,
+		Clamp: func(x []float64) {
+			if x[0] < 1e-6 {
+				x[0] = 1e-6
+			}
+		},
+	}
+	res, err := SolveNewton(p, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !almostEq(res.X[0], 1, 1e-8) {
+		t.Errorf("x = %+v, want 1", res)
+	}
+}
+
+func TestNewtonConvergedAtStart(t *testing.T) {
+	p := NewtonProblem{
+		N: 1,
+		Eval: func(x, f []float64, jac *Matrix) {
+			f[0] = x[0]
+			jac.Set(0, 0, 1)
+		},
+	}
+	res, err := SolveNewton(p, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Errorf("expected immediate convergence, got %+v", res)
+	}
+}
+
+func TestNewtonSingularJacobian(t *testing.T) {
+	p := NewtonProblem{
+		N: 1,
+		Eval: func(x, f []float64, jac *Matrix) {
+			f[0] = 1 // unsatisfiable with zero slope
+			jac.Set(0, 0, 0)
+		},
+		MaxIter: 5,
+	}
+	if _, err := SolveNewton(p, []float64{0}); err == nil {
+		t.Fatal("expected singular Jacobian error")
+	}
+}

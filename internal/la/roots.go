@@ -1,0 +1,98 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNoConverge is returned when an iterative method fails to reach its
+// tolerance within the iteration budget.
+var ErrNoConverge = errors.New("la: iteration did not converge")
+
+// Roots finds all complex roots of the polynomial p (lowest degree first)
+// using the Durand–Kerner (Weierstrass) simultaneous iteration. Leading zero
+// coefficients are trimmed. Used by the AWE substrate to extract poles from
+// the matched denominator polynomial.
+func Roots(p Poly) ([]complex128, error) {
+	deg := p.Degree()
+	if deg == 0 {
+		return nil, nil
+	}
+	// Normalize to a monic polynomial of the true degree.
+	c := make([]complex128, deg+1)
+	lead := p[deg]
+	for i := 0; i <= deg; i++ {
+		c[i] = complex(p[i]/lead, 0)
+	}
+	eval := func(x complex128) complex128 {
+		s := complex(0, 0)
+		for i := deg; i >= 0; i-- {
+			s = s*x + c[i]
+		}
+		return s
+	}
+	// Initial guesses on a circle of radius derived from the coefficient
+	// bound, with an irrational angle step to break symmetry.
+	radius := 0.0
+	for i := 0; i < deg; i++ {
+		if a := math.Abs(p[i] / lead); a > radius {
+			radius = a
+		}
+	}
+	radius = 1 + radius
+	roots := make([]complex128, deg)
+	for i := range roots {
+		theta := 2*math.Pi*float64(i)/float64(deg) + 0.4
+		roots[i] = cmplx.Rect(radius, theta)
+	}
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			num := eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident guesses.
+				roots[i] += complex(1e-6*radius, 1e-6*radius)
+				continue
+			}
+			step := num / den
+			roots[i] -= step
+			if a := cmplx.Abs(step); a > maxStep {
+				maxStep = a
+			}
+		}
+		if maxStep < 1e-13*radius {
+			return roots, nil
+		}
+	}
+	return roots, ErrNoConverge
+}
+
+// RealRoots filters Roots output down to roots with negligible imaginary
+// parts, returning their real values sorted ascending.
+func RealRoots(p Poly) ([]float64, error) {
+	rs, err := Roots(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for _, r := range rs {
+		if math.Abs(imag(r)) <= 1e-8*(1+math.Abs(real(r))) {
+			out = append(out, real(r))
+		}
+	}
+	// Insertion sort; root counts are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

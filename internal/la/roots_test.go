@@ -1,0 +1,150 @@
+package la
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootsQuadratic(t *testing.T) {
+	// (x-1)(x-2) = x² - 3x + 2
+	rs, err := RealRoots(Poly{2, -3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || !almostEq(rs[0], 1, 1e-8) || !almostEq(rs[1], 2, 1e-8) {
+		t.Errorf("roots = %v, want [1 2]", rs)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	// x² + 1 has roots ±i.
+	rs, err := Roots(Poly{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d roots, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if !almostEq(real(r), 0, 1e-8) || !almostEq(math.Abs(imag(r)), 1, 1e-8) {
+			t.Errorf("root %v, want ±i", r)
+		}
+	}
+	real_, err := RealRoots(Poly{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(real_) != 0 {
+		t.Errorf("RealRoots of x²+1 = %v, want none", real_)
+	}
+}
+
+func TestRootsLinearAndConstant(t *testing.T) {
+	rs, err := RealRoots(Poly{-6, 2}) // 2x - 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || !almostEq(rs[0], 3, 1e-10) {
+		t.Errorf("roots = %v, want [3]", rs)
+	}
+	rs2, err := Roots(Poly{5})
+	if err != nil || rs2 != nil {
+		t.Errorf("constant roots = %v err %v, want nil nil", rs2, err)
+	}
+}
+
+func TestRootsTrailingZeroCoeffs(t *testing.T) {
+	// Stored with a padded zero leading coefficient: still degree 1.
+	rs, err := RealRoots(Poly{-4, 2, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || !almostEq(rs[0], 2, 1e-10) {
+		t.Errorf("roots = %v, want [2]", rs)
+	}
+}
+
+// Property: for polynomials constructed from random real roots, Durand–Kerner
+// recovers the multiset of roots.
+func TestRootsRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		roots := make([]float64, n)
+		for i := range roots {
+			// Separated roots in [-3, 3]; Durand–Kerner struggles only with
+			// tight clusters, which the AWE use case avoids by construction.
+			roots[i] = -3 + 6*r.Float64()
+		}
+		sort.Float64s(roots)
+		ok := true
+		for i := 1; i < n; i++ {
+			if roots[i]-roots[i-1] < 0.2 {
+				ok = false
+			}
+		}
+		if !ok {
+			return true // skip clustered draws
+		}
+		// Expand ∏(x - root).
+		p := Poly{1}
+		for _, root := range roots {
+			q := make(Poly, len(p)+1)
+			for i, c := range p {
+				q[i] -= c * root
+				q[i+1] += c
+			}
+			p = q
+		}
+		got, err := RealRoots(p)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range roots {
+			if !almostEq(got[i], roots[i], 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every returned root satisfies |p(root)| ≈ 0.
+func TestRootsResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		p := make(Poly, n+1)
+		for i := range p {
+			p[i] = r.NormFloat64()
+		}
+		if math.Abs(p[n]) < 0.1 {
+			p[n] = 1
+		}
+		rs, err := Roots(p)
+		if err != nil {
+			return true // convergence failures are allowed to be reported
+		}
+		for _, root := range rs {
+			val := complex(0, 0)
+			for i := n; i >= 0; i-- {
+				val = val*root + complex(p[i], 0)
+			}
+			scale := 1 + cmplx.Abs(root)
+			if cmplx.Abs(val) > 1e-6*math.Pow(scale, float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package la
+
+import "math"
+
+// Tridiag is an n×n tridiagonal matrix stored as three diagonals:
+// Sub[i] = A[i+1][i] (i = 0..n-2), Diag[i] = A[i][i], Sup[i] = A[i][i+1].
+type Tridiag struct {
+	Sub, Diag, Sup []float64
+}
+
+// NewTridiag allocates a zero n×n tridiagonal matrix.
+func NewTridiag(n int) *Tridiag {
+	if n < 1 {
+		panic("la: tridiagonal order must be >= 1")
+	}
+	return &Tridiag{
+		Sub:  make([]float64, n-1),
+		Diag: make([]float64, n),
+		Sup:  make([]float64, n-1),
+	}
+}
+
+// N returns the order of the matrix.
+func (t *Tridiag) N() int { return len(t.Diag) }
+
+// Dense expands the tridiagonal matrix into a dense Matrix (for testing and
+// the LU fallback path).
+func (t *Tridiag) Dense() *Matrix {
+	n := t.N()
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, t.Diag[i])
+		if i > 0 {
+			m.Set(i, i-1, t.Sub[i-1])
+		}
+		if i < n-1 {
+			m.Set(i, i+1, t.Sup[i])
+		}
+	}
+	return m
+}
+
+// MulVec computes y = T·x.
+func (t *Tridiag) MulVec(x []float64) []float64 {
+	n := t.N()
+	if len(x) != n {
+		panic("la: Tridiag.MulVec dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := t.Diag[i] * x[i]
+		if i > 0 {
+			s += t.Sub[i-1] * x[i-1]
+		}
+		if i < n-1 {
+			s += t.Sup[i] * x[i+1]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Solve solves T·x = b with the Thomas algorithm in O(n). It returns
+// ErrSingular when a pivot underflows; callers should then fall back to the
+// dense LU path (the Thomas algorithm does not pivot).
+func (t *Tridiag) Solve(b []float64) ([]float64, error) {
+	n := t.N()
+	if len(b) != n {
+		panic("la: Tridiag.Solve dimension mismatch")
+	}
+	cp := make([]float64, n-1) // modified superdiagonal
+	x := make([]float64, n)
+
+	tiny := 1e-14 * t.scale()
+	d0 := t.Diag[0]
+	if math.Abs(d0) <= tiny {
+		return nil, ErrSingular
+	}
+	if n > 1 {
+		cp[0] = t.Sup[0] / d0
+	}
+	x[0] = b[0] / d0
+	for i := 1; i < n; i++ {
+		den := t.Diag[i] - t.Sub[i-1]*cp[i-1]
+		if math.Abs(den) <= tiny {
+			return nil, ErrSingular
+		}
+		if i < n-1 {
+			cp[i] = t.Sup[i] / den
+		}
+		x[i] = (b[i] - t.Sub[i-1]*x[i-1]) / den
+	}
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= cp[i] * x[i+1]
+	}
+	return x, nil
+}
+
+// scale returns the largest element magnitude, used to flag pivots that are
+// zero or negligibly small, where elimination without pivoting would blow
+// up.
+func (t *Tridiag) scale() float64 {
+	scale := 0.0
+	for _, v := range t.Diag {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for _, v := range t.Sub {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for _, v := range t.Sup {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	return scale
+}
+
+// SolveRankOne solves (T + u·vᵀ)·x = b via the Sherman–Morrison formula
+// (paper §IV-B, after Numerical Recipes): two Thomas solves,
+//
+//	T·y = b,  T·z = u,  x = y − v·y / (1 + v·z) · z.
+//
+// This is how QWM handles the Jacobian's dense last column while keeping the
+// O(n) tridiagonal solve. Returns ErrSingular if T is singular to the Thomas
+// algorithm or if 1 + vᵀz vanishes.
+func (t *Tridiag) SolveRankOne(u, v, b []float64) ([]float64, error) {
+	n := t.N()
+	if len(u) != n || len(v) != n || len(b) != n {
+		panic("la: SolveRankOne dimension mismatch")
+	}
+	y, err := t.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	z, err := t.Solve(u)
+	if err != nil {
+		return nil, err
+	}
+	den := 1 + Dot(v, z)
+	if math.Abs(den) < 1e-300 {
+		return nil, ErrSingular
+	}
+	f := Dot(v, y) / den
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = y[i] - f*z[i]
+	}
+	return x, nil
+}

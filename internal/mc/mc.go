@@ -1,0 +1,215 @@
+// Package mc runs Monte Carlo timing analysis over a QWM chain: each sample
+// draws per-device process variations (threshold shift, width deviation),
+// re-evaluates the chain with QWM, and the ensemble yields the delay
+// distribution — mean, sigma and tail quantiles. At ~0.5 ms per evaluation,
+// thousand-sample statistical timing is interactive; through a SPICE-class
+// engine the same experiment is an overnight job. (Statistical STA is not
+// in the 2003 paper; it is the kind of downstream use its speed-up was
+// aimed at.)
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/qwm"
+)
+
+// Variation describes the per-device process spread.
+type Variation struct {
+	// VthSigma is the standard deviation of the per-device threshold shift
+	// in volts (e.g. 20 mV for a mature 0.35 µm process).
+	VthSigma float64
+	// WidthSigmaRel is the relative standard deviation of each width
+	// (e.g. 0.02 for ±2 %).
+	WidthSigmaRel float64
+}
+
+// Stats summarizes a delay distribution.
+type Stats struct {
+	Samples                  int
+	Mean, Std                float64
+	Min, Max                 float64
+	P50, P95, P99            float64
+	Failed                   int // samples whose evaluation did not converge
+	NominalDelay, ThreeSigma float64
+}
+
+// shiftedModel wraps an IVModel with a threshold shift δ: in the folded
+// coordinates a +δ threshold is exactly a −δ gate-drive shift.
+type shiftedModel struct {
+	devmodel.IVModel
+	dVth float64
+}
+
+func (m shiftedModel) IV(w, vg, vd, vs float64) (i, dvg, dvd, dvs float64) {
+	return m.IVModel.IV(w, vg-m.dVth, vd, vs)
+}
+
+func (m shiftedModel) Threshold(vs float64) float64 {
+	return m.IVModel.Threshold(vs) + m.dVth
+}
+
+func (m shiftedModel) Vdsat(vg, vs float64) float64 {
+	return m.IVModel.Vdsat(vg-m.dVth, vs)
+}
+
+// perturb returns a deep-enough copy of the chain with per-device draws
+// applied (elements are copied; models are wrapped; caps/V0 shared —
+// read-only during evaluation).
+func perturb(ch *qwm.Chain, v Variation, r *rand.Rand) *qwm.Chain {
+	out := &qwm.Chain{
+		Pol: ch.Pol, VDD: ch.VDD,
+		Caps: ch.Caps, V0: ch.V0,
+	}
+	out.Elems = make([]*qwm.Elem, len(ch.Elems))
+	for i, e := range ch.Elems {
+		ne := *e
+		if !e.IsWire() {
+			if v.VthSigma > 0 {
+				ne.Model = shiftedModel{IVModel: e.Model, dVth: r.NormFloat64() * v.VthSigma}
+			}
+			if v.WidthSigmaRel > 0 {
+				f := 1 + r.NormFloat64()*v.WidthSigmaRel
+				if f < 0.5 {
+					f = 0.5
+				}
+				ne.W = e.W * f
+			}
+		}
+		out.Elems[i] = &ne
+	}
+	return out
+}
+
+// RunSamples evaluates n Monte Carlo samples of the chain in parallel (the
+// device tables are immutable after characterization, so workers share
+// them) and returns the successful delays in sample order. The seed makes
+// the draw deterministic.
+func RunSamples(ch *qwm.Chain, v Variation, n int, seed int64, opts qwm.Options) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mc: need at least 2 samples")
+	}
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	// Pre-draw per-sample chains sequentially so the result is independent
+	// of scheduling.
+	r := rand.New(rand.NewSource(seed))
+	chains := make([]*qwm.Chain, n)
+	for i := range chains {
+		chains[i] = perturb(ch, v, r)
+	}
+
+	delays := make([]float64, n)
+	okFlags := make([]bool, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := qwm.Evaluate(chains[i], opts)
+				if err != nil {
+					continue
+				}
+				d, err := res.Delay50(0, ch.VDD)
+				if err != nil {
+					continue
+				}
+				delays[i] = d
+				okFlags[i] = true
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var good []float64
+	for i, ok := range okFlags {
+		if ok {
+			good = append(good, delays[i])
+		}
+	}
+	return good, nil
+}
+
+// Run evaluates n samples and summarizes the delay distribution.
+func Run(ch *qwm.Chain, v Variation, n int, seed int64, opts qwm.Options) (*Stats, error) {
+	good, err := RunSamples(ch, v, n, seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	nominal, err := qwm.Evaluate(ch, opts)
+	if err != nil {
+		return nil, fmt.Errorf("mc: nominal evaluation: %w", err)
+	}
+	nomDelay, err := nominal.Delay50(0, ch.VDD)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) < 2 {
+		return nil, fmt.Errorf("mc: only %d of %d samples evaluated", len(good), n)
+	}
+	good = append([]float64(nil), good...)
+	sort.Float64s(good)
+	st := &Stats{
+		Samples:      len(good),
+		Failed:       n - len(good),
+		Min:          good[0],
+		Max:          good[len(good)-1],
+		P50:          quantile(good, 0.50),
+		P95:          quantile(good, 0.95),
+		P99:          quantile(good, 0.99),
+		NominalDelay: nomDelay,
+	}
+	sum := 0.0
+	for _, d := range good {
+		sum += d
+	}
+	st.Mean = sum / float64(len(good))
+	ss := 0.0
+	for _, d := range good {
+		ss += (d - st.Mean) * (d - st.Mean)
+	}
+	st.Std = 0
+	if len(good) > 1 {
+		st.Std = sqrt(ss / float64(len(good)-1))
+	}
+	st.ThreeSigma = st.Mean + 3*st.Std
+	return st, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,130 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/qwm"
+	"qwm/internal/wave"
+)
+
+var (
+	tech = mos.CMOSP35()
+	lib  = devmodel.NewLibrary(tech)
+)
+
+func stackChain(t testing.TB, k int) *qwm.Chain {
+	tbl, err := lib.Table(mos.NMOS, tech.LMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &qwm.Chain{Pol: mos.NMOS, VDD: tech.VDD}
+	for i := 0; i < k; i++ {
+		var g wave.Waveform = wave.DC(tech.VDD)
+		if i == 0 {
+			g = wave.Step{At: 0, Low: 0, High: tech.VDD}
+		}
+		ch.Elems = append(ch.Elems, &qwm.Elem{Model: tbl, W: 1.2e-6, Gate: g})
+		ch.Caps = append(ch.Caps, qwm.NodeCap{Fixed: 6e-15})
+		ch.V0 = append(ch.V0, tech.VDD)
+	}
+	return ch
+}
+
+func TestRunBasicStatistics(t *testing.T) {
+	ch := stackChain(t, 4)
+	st, err := Run(ch, Variation{VthSigma: 25e-3, WidthSigmaRel: 0.03}, 200, 1, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples < 195 {
+		t.Fatalf("only %d samples succeeded (%d failed)", st.Samples, st.Failed)
+	}
+	// Mean near nominal (variations are symmetric to first order).
+	if e := math.Abs(st.Mean-st.NominalDelay) / st.NominalDelay; e > 0.03 {
+		t.Errorf("mean %g vs nominal %g (%.1f%% apart)", st.Mean, st.NominalDelay, 100*e)
+	}
+	if st.Std <= 0 {
+		t.Error("zero spread with nonzero variation")
+	}
+	// Quantiles are ordered.
+	if !(st.Min <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= st.Max) {
+		t.Errorf("quantiles out of order: %+v", st)
+	}
+	if st.ThreeSigma <= st.Mean {
+		t.Error("3σ corner not above the mean")
+	}
+	// Spread plausible: σ a few percent of the mean at these variations.
+	if st.Std > 0.15*st.Mean {
+		t.Errorf("σ = %g implausibly large vs mean %g", st.Std, st.Mean)
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	ch := stackChain(t, 3)
+	a, err := Run(ch, Variation{VthSigma: 20e-3}, 64, 7, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ch, Variation{VthSigma: 20e-3}, 64, 7, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.Std != b.Std || a.P99 != b.P99 {
+		t.Errorf("same seed produced different statistics: %+v vs %+v", a, b)
+	}
+	c, err := Run(ch, Variation{VthSigma: 20e-3}, 64, 8, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean == c.Mean {
+		t.Error("different seeds produced identical means")
+	}
+}
+
+func TestRunSpreadGrowsWithVariation(t *testing.T) {
+	ch := stackChain(t, 3)
+	small, err := Run(ch, Variation{VthSigma: 10e-3}, 128, 3, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(ch, Variation{VthSigma: 40e-3}, 128, 3, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Std <= small.Std {
+		t.Errorf("4× Vth sigma should widen the spread: %g vs %g", large.Std, small.Std)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ch := stackChain(t, 2)
+	if _, err := Run(ch, Variation{}, 1, 0, qwm.Options{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Run(&qwm.Chain{}, Variation{}, 16, 0, qwm.Options{}); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestShiftedModelConsistency(t *testing.T) {
+	tbl, err := lib.Table(mos.NMOS, tech.LMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shiftedModel{IVModel: tbl, dVth: 0.05}
+	// A +50 mV threshold shift must reduce the on-current.
+	i0, _, _, _ := tbl.IV(1e-6, 3.3, 1.0, 0)
+	i1, _, _, _ := m.IV(1e-6, 3.3, 1.0, 0)
+	if i1 >= i0 {
+		t.Errorf("higher Vth should reduce current: %g vs %g", i1, i0)
+	}
+	if m.Threshold(0) <= tbl.Threshold(0) {
+		t.Error("threshold query not shifted")
+	}
+	if m.Vdsat(3.3, 0) >= tbl.Vdsat(3.3, 0) {
+		t.Error("Vdsat should shrink with higher Vth")
+	}
+}

@@ -1,0 +1,115 @@
+package mos
+
+import "math"
+
+// Dual is a first-order dual number carrying a value and three partial
+// derivatives (with respect to the gate, drain, and source voltages of the
+// device being evaluated). Evaluating the device equations on Dual values
+// yields exact analytic derivatives with a single shared code path — the
+// forward-mode automatic differentiation trick.
+type Dual struct {
+	V float64
+	D [3]float64
+}
+
+// Const lifts a constant (zero derivative) into a Dual.
+func Const(v float64) Dual { return Dual{V: v} }
+
+// Var lifts a value seeded as independent variable i (derivative 1 in
+// direction i).
+func Var(v float64, i int) Dual {
+	d := Dual{V: v}
+	d.D[i] = 1
+	return d
+}
+
+// Add returns a + b.
+func (a Dual) Add(b Dual) Dual {
+	return Dual{V: a.V + b.V, D: [3]float64{a.D[0] + b.D[0], a.D[1] + b.D[1], a.D[2] + b.D[2]}}
+}
+
+// Sub returns a - b.
+func (a Dual) Sub(b Dual) Dual {
+	return Dual{V: a.V - b.V, D: [3]float64{a.D[0] - b.D[0], a.D[1] - b.D[1], a.D[2] - b.D[2]}}
+}
+
+// Mul returns a · b.
+func (a Dual) Mul(b Dual) Dual {
+	return Dual{V: a.V * b.V, D: [3]float64{
+		a.D[0]*b.V + a.V*b.D[0],
+		a.D[1]*b.V + a.V*b.D[1],
+		a.D[2]*b.V + a.V*b.D[2],
+	}}
+}
+
+// Div returns a / b.
+func (a Dual) Div(b Dual) Dual {
+	inv := 1 / b.V
+	v := a.V * inv
+	return Dual{V: v, D: [3]float64{
+		(a.D[0] - v*b.D[0]) * inv,
+		(a.D[1] - v*b.D[1]) * inv,
+		(a.D[2] - v*b.D[2]) * inv,
+	}}
+}
+
+// Neg returns -a.
+func (a Dual) Neg() Dual {
+	return Dual{V: -a.V, D: [3]float64{-a.D[0], -a.D[1], -a.D[2]}}
+}
+
+// Scale returns k·a for a plain float k.
+func (a Dual) Scale(k float64) Dual {
+	return Dual{V: k * a.V, D: [3]float64{k * a.D[0], k * a.D[1], k * a.D[2]}}
+}
+
+// AddConst returns a + k.
+func (a Dual) AddConst(k float64) Dual {
+	return Dual{V: a.V + k, D: a.D}
+}
+
+func (a Dual) chain(v, dv float64) Dual {
+	return Dual{V: v, D: [3]float64{dv * a.D[0], dv * a.D[1], dv * a.D[2]}}
+}
+
+// Sqrt returns √a. The argument must be positive.
+func (a Dual) Sqrt() Dual {
+	s := math.Sqrt(a.V)
+	return a.chain(s, 0.5/s)
+}
+
+// Exp returns e^a.
+func (a Dual) Exp() Dual {
+	e := math.Exp(a.V)
+	return a.chain(e, e)
+}
+
+// Log returns ln(a) for positive a.
+func (a Dual) Log() Dual {
+	return a.chain(math.Log(a.V), 1/a.V)
+}
+
+// PowConst returns a^k for non-negative a and constant k. The derivative is
+// formed as k·a^(k−1) directly so that a = 0 with k > 1 yields 0 rather than
+// 0/0.
+func (a Dual) PowConst(k float64) Dual {
+	return a.chain(math.Pow(a.V, k), k*math.Pow(a.V, k-1))
+}
+
+// Softplus returns the numerically stable softplus ln(1 + e^a), the smooth
+// max(0, a) used to blend sub-threshold and strong-inversion conduction.
+func (a Dual) Softplus() Dual {
+	x := a.V
+	var v, dv float64
+	switch {
+	case x > 30:
+		v, dv = x, 1
+	case x < -30:
+		v, dv = math.Exp(x), math.Exp(x)
+	default:
+		ex := math.Exp(x)
+		v = math.Log1p(ex)
+		dv = ex / (1 + ex)
+	}
+	return a.chain(v, dv)
+}

@@ -1,0 +1,98 @@
+package mos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func dualAlmostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDualArithmetic(t *testing.T) {
+	x := Var(3, 0)
+	y := Var(2, 1)
+
+	sum := x.Add(y)
+	if sum.V != 5 || sum.D[0] != 1 || sum.D[1] != 1 {
+		t.Errorf("Add: %+v", sum)
+	}
+	prod := x.Mul(y)
+	if prod.V != 6 || prod.D[0] != 2 || prod.D[1] != 3 {
+		t.Errorf("Mul: %+v", prod)
+	}
+	q := x.Div(y)
+	if q.V != 1.5 || q.D[0] != 0.5 || q.D[1] != -0.75 {
+		t.Errorf("Div: %+v", q)
+	}
+	d := x.Sub(y)
+	if d.V != 1 || d.D[0] != 1 || d.D[1] != -1 {
+		t.Errorf("Sub: %+v", d)
+	}
+	n := x.Neg()
+	if n.V != -3 || n.D[0] != -1 {
+		t.Errorf("Neg: %+v", n)
+	}
+}
+
+func TestDualElementary(t *testing.T) {
+	x := Var(4, 2)
+	s := x.Sqrt()
+	if s.V != 2 || s.D[2] != 0.25 {
+		t.Errorf("Sqrt: %+v", s)
+	}
+	e := Var(0, 0).Exp()
+	if e.V != 1 || e.D[0] != 1 {
+		t.Errorf("Exp: %+v", e)
+	}
+	l := Var(math.E, 1).Log()
+	if !dualAlmostEq(l.V, 1, 1e-12) || !dualAlmostEq(l.D[1], 1/math.E, 1e-12) {
+		t.Errorf("Log: %+v", l)
+	}
+	p := Var(2, 0).PowConst(3)
+	if p.V != 8 || p.D[0] != 12 {
+		t.Errorf("PowConst: %+v", p)
+	}
+}
+
+func TestDualSoftplusLimitsAndStability(t *testing.T) {
+	big := Var(100, 0).Softplus()
+	if big.V != 100 || big.D[0] != 1 {
+		t.Errorf("Softplus(100): %+v", big)
+	}
+	small := Var(-100, 0).Softplus()
+	if small.V <= 0 || small.V > 1e-40 || small.D[0] != small.V {
+		t.Errorf("Softplus(-100): %+v", small)
+	}
+	mid := Var(0, 0).Softplus()
+	if !dualAlmostEq(mid.V, math.Ln2, 1e-12) || !dualAlmostEq(mid.D[0], 0.5, 1e-12) {
+		t.Errorf("Softplus(0): %+v", mid)
+	}
+}
+
+// Property: dual derivatives of a composite expression agree with central
+// finite differences.
+func TestDualDerivativeMatchesFDProperty(t *testing.T) {
+	expr := func(x, y Dual) Dual {
+		// f(x, y) = sqrt(softplus(x·y)) + exp(−y)·x / (1 + x²)
+		a := x.Mul(y).Softplus().AddConst(1e-9).Sqrt()
+		b := y.Neg().Exp().Mul(x).Div(x.Mul(x).AddConst(1))
+		return a.Add(b)
+	}
+	f := func(xv, yv float64) bool {
+		if math.Abs(xv) > 5 || math.Abs(yv) > 5 {
+			return true
+		}
+		g := expr(Var(xv, 0), Var(yv, 1))
+		const h = 1e-6
+		fdx := (expr(Const(xv+h), Const(yv)).V - expr(Const(xv-h), Const(yv)).V) / (2 * h)
+		fdy := (expr(Const(xv), Const(yv+h)).V - expr(Const(xv), Const(yv-h)).V) / (2 * h)
+		return dualAlmostEq(g.D[0], fdx, 1e-4) && dualAlmostEq(g.D[1], fdy, 1e-4)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package mos
+
+import "math"
+
+// VTherm is the thermal voltage used inside the smooth blending functions.
+const VTherm = 0.02585
+
+// IV holds a channel current and its partial derivatives with respect to the
+// absolute gate, drain, and source terminal voltages.
+type IV struct {
+	I             float64
+	DVg, DVd, DVs float64
+}
+
+// Ids returns the channel current flowing from the drain terminal to the
+// source terminal, together with its derivatives, for a device of drawn
+// width w and length l at absolute terminal voltages (vg, vd, vs) and body
+// voltage vb. For NMOS the body is normally ground; for PMOS, VDD.
+//
+// The model is symmetric in source/drain: if the nominal drain is at the
+// lower potential the roles swap and the current sign flips, which is what a
+// physical MOSFET does and what a discharge chain needs (internal nodes can
+// momentarily pull above their upper neighbours).
+func (p *Params) Ids(w, l, vg, vd, vs, vb float64) IV {
+	g := Var(vg, 0)
+	d := Var(vd, 1)
+	s := Var(vs, 2)
+	b := Const(vb)
+	if p.Pol == PMOS {
+		// Evaluate the NMOS-form equations on negated voltages; current and
+		// derivative signs fall out of the dual arithmetic.
+		g, d, s, b = g.Neg(), d.Neg(), s.Neg(), b.Neg()
+	}
+	var ids Dual
+	if d.V >= s.V {
+		ids = p.idsCore(w, l, g, d, s, b)
+	} else {
+		ids = p.idsCore(w, l, g, s, d, b).Neg()
+	}
+	if p.Pol == PMOS {
+		ids = ids.Neg()
+	}
+	return IV{I: ids.V, DVg: ids.D[0], DVd: ids.D[1], DVs: ids.D[2]}
+}
+
+// Vth returns the body-effect-adjusted threshold voltage magnitude for a
+// device whose source sits at vs and body at vb (absolute voltages, NMOS
+// convention applied after polarity folding).
+func (p *Params) Vth(vs, vb float64) float64 {
+	if p.Pol == PMOS {
+		vs, vb = -vs, -vb
+	}
+	return p.vth(Const(vs), Const(vb)).V
+}
+
+// vth computes Vth = Vth0 + γ(√(φ + Vsb) − √φ) with a smooth floor keeping
+// the square-root argument positive under forward body bias.
+func (p *Params) vth(s, b Dual) Dual {
+	vsb := s.Sub(b)
+	arg := vsb.AddConst(p.Phi)
+	// Smooth floor at 50 mV: arg' = softplus-blend(arg).
+	const floor = 0.05
+	arg = arg.AddConst(-floor).Scale(1 / (2 * VTherm)).Softplus().Scale(2 * VTherm).AddConst(floor)
+	return arg.Sqrt().AddConst(-math.Sqrt(p.Phi)).Scale(p.Gamma).AddConst(p.Vth0)
+}
+
+// idsCore evaluates the NMOS-form smooth model with vd ≥ vs guaranteed.
+func (p *Params) idsCore(w, l float64, g, d, s, b Dual) Dual {
+	leff := l - 2*p.LD
+	if leff <= 0 {
+		leff = l * 0.5
+	}
+	nvt := p.NSub * VTherm
+
+	vth := p.vth(s, b)
+	vgt := g.Sub(s).Sub(vth)
+
+	// Effective gate drive: smooth blend between exponential sub-threshold
+	// conduction and strong-inversion (Veff → Vgt for Vgt ≫ nVT).
+	veff := vgt.Scale(1 / nvt).Softplus().Scale(nvt)
+
+	// Vertical-field mobility degradation.
+	kpe := Const(p.KP).Div(veff.Scale(p.Theta).AddConst(1))
+
+	// Velocity saturation: Vdsat = Veff·EsatL / (Veff + EsatL).
+	esatL := p.ESat * leff
+	vdsat := veff.Scale(esatL).Div(veff.AddConst(esatL))
+
+	// Smooth drain saturation: Vdseff = Vds·(1 + (Vds/Vdsat)^a)^(−1/a).
+	// Evaluated in the algebraically identical form with the sub-unity base
+	// on whichever side is smaller, so the a-th power can never overflow
+	// even when an off device makes Vdsat vanishingly small.
+	vds := d.Sub(s)
+	const a = 8.0
+	ratio := vds.Div(vdsat)
+	var vdseff Dual
+	if ratio.V <= 1 {
+		vdseff = vds.Mul(ratio.PowConst(a).AddConst(1).PowConst(-1 / a))
+	} else {
+		inv := Const(1).Div(ratio)
+		vdseff = vdsat.Mul(inv.PowConst(a).AddConst(1).PowConst(-1 / a))
+	}
+
+	// Channel current with channel-length modulation.
+	clm := vds.Scale(p.Lambda).AddConst(1)
+	i := kpe.Scale(w / leff).Mul(veff.Sub(vdseff.Scale(0.5))).Mul(vdseff).Mul(clm)
+	return i
+}
+
+// VdsatValue returns the saturation voltage for a device given gate and
+// source voltages — the boundary the tabular model uses to split its linear
+// (saturation) and quadratic (triode) fits.
+func (p *Params) VdsatValue(l, vg, vs, vb float64) float64 {
+	if p.Pol == PMOS {
+		vg, vs, vb = -vg, -vs, -vb
+	}
+	leff := l - 2*p.LD
+	if leff <= 0 {
+		leff = l * 0.5
+	}
+	nvt := p.NSub * VTherm
+	vth := p.vth(Const(vs), Const(vb)).V
+	vgt := vg - vs - vth
+	veff := softplusFloat(vgt/nvt) * nvt
+	esatL := p.ESat * leff
+	return veff * esatL / (veff + esatL)
+}
+
+func softplusFloat(x float64) float64 {
+	switch {
+	case x > 30:
+		return x
+	case x < -30:
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}

@@ -1,0 +1,187 @@
+package mos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var tech = CMOSP35()
+
+const (
+	wTest = 1.0e-6
+	lTest = 0.35e-6
+)
+
+func TestNMOSCutoff(t *testing.T) {
+	// Gate at 0: only sub-threshold leakage, many orders below on-current.
+	off := tech.N.Ids(wTest, lTest, 0, 3.3, 0, 0)
+	on := tech.N.Ids(wTest, lTest, 3.3, 3.3, 0, 0)
+	if off.I < 0 {
+		t.Errorf("cutoff current negative: %g", off.I)
+	}
+	if off.I > 1e-9 {
+		t.Errorf("cutoff current too large: %g", off.I)
+	}
+	if on.I < 1e-4 || on.I > 5e-3 {
+		t.Errorf("on current out of plausible range: %g", on.I)
+	}
+	if on.I/math.Max(off.I, 1e-300) < 1e6 {
+		t.Errorf("on/off ratio too small: %g", on.I/off.I)
+	}
+}
+
+func TestNMOSZeroVds(t *testing.T) {
+	iv := tech.N.Ids(wTest, lTest, 3.3, 1.0, 1.0, 0)
+	if iv.I != 0 {
+		t.Errorf("Ids at Vds=0 should be exactly 0, got %g", iv.I)
+	}
+	if iv.DVd <= 0 {
+		t.Errorf("channel conductance at Vds=0 should be positive, got %g", iv.DVd)
+	}
+}
+
+func TestNMOSSourceDrainSymmetry(t *testing.T) {
+	fwd := tech.N.Ids(wTest, lTest, 3.3, 2.0, 0.5, 0)
+	rev := tech.N.Ids(wTest, lTest, 3.3, 0.5, 2.0, 0)
+	// Swapping drain/source potentials must reverse the current. The body
+	// terminal stays fixed, so magnitudes differ via body effect; both
+	// directions must conduct.
+	if fwd.I <= 0 || rev.I >= 0 {
+		t.Errorf("symmetry: fwd %g, rev %g", fwd.I, rev.I)
+	}
+	// With the body tied to the lower terminal in both cases the magnitudes
+	// would match exactly; check they are within body-effect distance.
+	if math.Abs(fwd.I) < math.Abs(rev.I) {
+		t.Errorf("reverse conduction should be weaker under body effect: fwd %g rev %g", fwd.I, rev.I)
+	}
+}
+
+func TestPMOSConduction(t *testing.T) {
+	// PMOS source at VDD, gate low: conducts, current flows source->drain,
+	// i.e. Ids (drain->source) is negative.
+	iv := tech.P.Ids(wTest, lTest, 0, 1.0, 3.3, 3.3)
+	if iv.I >= 0 {
+		t.Errorf("on PMOS should have negative drain->source current, got %g", iv.I)
+	}
+	off := tech.P.Ids(wTest, lTest, 3.3, 1.0, 3.3, 3.3)
+	if math.Abs(off.I) > 1e-9 {
+		t.Errorf("off PMOS leaking %g", off.I)
+	}
+}
+
+func TestBodyEffectRaisesVth(t *testing.T) {
+	v0 := tech.N.Vth(0, 0)
+	v1 := tech.N.Vth(1.0, 0)
+	if v1 <= v0 {
+		t.Errorf("Vth(Vsb=1) = %g should exceed Vth(0) = %g", v1, v0)
+	}
+	if !dualAlmostEq(v0, tech.N.Vth0, 0.02) {
+		t.Errorf("zero-bias Vth = %g, want ≈ %g", v0, tech.N.Vth0)
+	}
+}
+
+func TestIdsMonotonicInVgs(t *testing.T) {
+	prev := -1.0
+	for vg := 0.0; vg <= 3.3; vg += 0.1 {
+		iv := tech.N.Ids(wTest, lTest, vg, 3.3, 0, 0)
+		if iv.I <= prev {
+			t.Fatalf("Ids not strictly increasing in Vg at vg=%.2f: %g <= %g", vg, iv.I, prev)
+		}
+		prev = iv.I
+	}
+}
+
+func TestIdsMonotonicInVds(t *testing.T) {
+	prev := -1.0
+	for vd := 0.0; vd <= 3.3; vd += 0.05 {
+		iv := tech.N.Ids(wTest, lTest, 3.3, vd, 0, 0)
+		if iv.I < prev {
+			t.Fatalf("Ids decreasing in Vd at vd=%.2f", vd)
+		}
+		prev = iv.I
+	}
+}
+
+func TestIdsScalesWithWidth(t *testing.T) {
+	i1 := tech.N.Ids(1e-6, lTest, 3.3, 3.3, 0, 0).I
+	i2 := tech.N.Ids(2e-6, lTest, 3.3, 3.3, 0, 0).I
+	if !dualAlmostEq(i2, 2*i1, 1e-9) {
+		t.Errorf("width scaling: I(2W) = %g, want %g", i2, 2*i1)
+	}
+}
+
+func TestSaturationRegionShape(t *testing.T) {
+	// Beyond Vdsat the current should be nearly flat (slope ≈ λ·Isat),
+	// far smaller than the triode-region slope.
+	vdsat := tech.N.VdsatValue(lTest, 3.3, 0, 0)
+	if vdsat <= 0 || vdsat >= 3.3 {
+		t.Fatalf("Vdsat = %g out of range", vdsat)
+	}
+	gTriode := tech.N.Ids(wTest, lTest, 3.3, 0.05, 0, 0).DVd
+	gSat := tech.N.Ids(wTest, lTest, 3.3, 3.2, 0, 0).DVd
+	if gSat >= gTriode/5 {
+		t.Errorf("saturation slope %g not ≪ triode slope %g", gSat, gTriode)
+	}
+}
+
+// Property: dual-number derivatives of Ids agree with central finite
+// differences across the operating space, for both polarities.
+func TestIdsDerivativesMatchFDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := &tech.N
+		vb := 0.0
+		if r.Intn(2) == 1 {
+			p = &tech.P
+			vb = 3.3
+		}
+		vg := 3.3 * r.Float64()
+		vd := 3.3 * r.Float64()
+		vs := 3.3 * r.Float64()
+		// Keep away from the non-smooth source/drain swap point.
+		if math.Abs(vd-vs) < 0.02 {
+			return true
+		}
+		w := (0.5 + 4*r.Float64()) * 1e-6
+		l := (0.35 + 0.3*r.Float64()) * 1e-6
+		iv := p.Ids(w, l, vg, vd, vs, vb)
+		const h = 1e-6
+		fdg := (p.Ids(w, l, vg+h, vd, vs, vb).I - p.Ids(w, l, vg-h, vd, vs, vb).I) / (2 * h)
+		fdd := (p.Ids(w, l, vg, vd+h, vs, vb).I - p.Ids(w, l, vg, vd-h, vs, vb).I) / (2 * h)
+		fds := (p.Ids(w, l, vg, vd, vs+h, vb).I - p.Ids(w, l, vg, vd, vs-h, vb).I) / (2 * h)
+		scale := math.Abs(iv.I) + 1e-6
+		return math.Abs(iv.DVg-fdg) < 1e-3*scale+1e-9 &&
+			math.Abs(iv.DVd-fdd) < 1e-3*scale+1e-9 &&
+			math.Abs(iv.DVs-fds) < 1e-3*scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: current is continuous across the source/drain swap (passes
+// through zero at Vds = 0).
+func TestIdsContinuousAtVdsZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vg := 3.3 * r.Float64()
+		vs := 3.0 * r.Float64()
+		const eps = 1e-7
+		up := tech.N.Ids(wTest, lTest, vg, vs+eps, vs, 0).I
+		dn := tech.N.Ids(wTest, lTest, vg, vs-eps, vs, 0).I
+		return math.Abs(up) < 1e-6 && math.Abs(dn) < 1e-6 && up >= 0 && dn <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVdsatIncreasesWithGateDrive(t *testing.T) {
+	lo := tech.N.VdsatValue(lTest, 1.0, 0, 0)
+	hi := tech.N.VdsatValue(lTest, 3.3, 0, 0)
+	if hi <= lo {
+		t.Errorf("Vdsat should grow with gate drive: %g vs %g", lo, hi)
+	}
+}

@@ -1,0 +1,160 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qwm/internal/circuit"
+)
+
+const nandDeck = `* 2-input NAND pull-down
+Vdd vdd 0 DC 3.3
+Vin in 0 PWL(0 0 1p 3.3)
+M1 x1 in 0 0 NMOS W=1u L=0.35u
+M2 out vdd x1 0 NMOS W=1u L=0.35u
+MP1 out in vdd vdd PMOS W=2u L=0.35u
+C1 out 0 15f
+R1 out mid 1.5k
+.ic V(out)=3.3 V(x1)=3.3
+.tran 1p 2n
+.end
+`
+
+func TestParseNANDDeck(t *testing.T) {
+	d, err := ParseString(nandDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "* 2-input NAND pull-down" {
+		t.Errorf("title = %q", d.Title)
+	}
+	n := d.Netlist
+	if len(n.Transistors) != 3 {
+		t.Fatalf("transistors = %d", len(n.Transistors))
+	}
+	m1 := n.Transistors[0]
+	if m1.Drain != "x1" || m1.Gate != "in" || m1.Source != "0" || m1.W != 1e-6 || m1.L != 0.35e-6 {
+		t.Errorf("M1 = %+v", m1)
+	}
+	if n.Transistors[2].Kind != circuit.KindPMOS {
+		t.Error("MP1 should be PMOS")
+	}
+	if len(n.Capacitors) != 1 || math.Abs(n.Capacitors[0].C-15e-15) > 1e-25 {
+		t.Errorf("caps = %+v", n.Capacitors)
+	}
+	if len(n.Resistors) != 1 || math.Abs(n.Resistors[0].R-1.5e3) > 1e-9 {
+		t.Errorf("resistors = %+v", n.Resistors)
+	}
+	if d.TranStep != 1e-12 || d.TranStop != 2e-9 {
+		t.Errorf("tran = %g %g", d.TranStep, d.TranStop)
+	}
+	if d.IC["out"] != 3.3 || d.IC["x1"] != 3.3 {
+		t.Errorf("ic = %v", d.IC)
+	}
+	// PWL source evaluates correctly.
+	var vin *circuit.VSource
+	for _, v := range n.VSources {
+		if v.Name == "Vin" {
+			vin = v
+		}
+	}
+	if vin == nil {
+		t.Fatal("Vin missing")
+	}
+	if got := vin.Wave.Eval(0.5e-12); math.Abs(got-1.65) > 1e-9 {
+		t.Errorf("PWL midpoint = %g", got)
+	}
+}
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"1":     1,
+		"1.5k":  1500,
+		"2meg":  2e6,
+		"15f":   15e-15,
+		"10p":   10e-12,
+		"3n":    3e-9,
+		"0.35u": 0.35e-6,
+		"5m":    5e-3,
+		"2g":    2e9,
+		"-4u":   -4e-6,
+		"1e-12": 1e-12,
+	}
+	for s, want := range cases {
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", s, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want)+1e-30 {
+			t.Errorf("ParseValue(%q) = %g, want %g", s, got, want)
+		}
+	}
+	if _, err := ParseValue("abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseValue(""); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestParseTitleLine(t *testing.T) {
+	d, err := ParseString("my test circuit\nR1 a 0 1k\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "my test circuit" {
+		t.Errorf("title = %q", d.Title)
+	}
+	if len(d.Netlist.Resistors) != 1 {
+		t.Error("resistor lost")
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	deck := "t\nVin in 0 PWL(0 0\n+ 1p 3.3)\n.end\n"
+	d, err := ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Netlist.VSources) != 1 {
+		t.Fatal("source lost")
+	}
+	if got := d.Netlist.VSources[0].Wave.Eval(1e-12); math.Abs(got-3.3) > 1e-9 {
+		t.Errorf("continued PWL end = %g", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"t\nM1 a b c\n",                         // too few MOS nodes
+		"t\nM1 a b c d XMOS W=1u L=1u\n",        // bad type
+		"t\nM1 a b c d NMOS\n",                  // missing W/L
+		"t\nR1 a b\n",                           // missing value
+		"t\nC1 a b 1f 2f\n",                     // extra value
+		"t\nV1 a 0 PWL(0 0 1p)\n",               // odd PWL list
+		"t\n.tran 1p\n",                         // missing stop
+		"t\n.ic out=3\n",                        // bad ic syntax
+		"t\n.foo\n",                             // unknown directive
+		"t\nX1 a b c\n",                         // unknown card
+		"t\nM1 a b a 0 NMOS W=1u L=0.35u\n",     // drain==source fails Validate
+		"t\nM1 a b c 0 NMOS W=1u L=0.35u Q=1\n", // unknown param
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("deck accepted: %q", strings.Split(s, "\n")[1])
+		}
+	}
+}
+
+func TestParsedDeckSimulates(t *testing.T) {
+	d, err := ParseString(nandDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stagesList := circuit.ExtractStages(d.Netlist, []string{"out"})
+	if len(stagesList) == 0 {
+		t.Fatal("no stages extracted from parsed deck")
+	}
+}

@@ -1,0 +1,145 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"qwm/internal/circuit"
+	"qwm/internal/wave"
+)
+
+// Format serializes a deck back to SPICE-card text. Sources render as DC or
+// PWL cards; Step and Ramp waveforms become equivalent two-point PWLs (with
+// a 1 fs rise for the ideal step). Parse(Format(d)) reproduces the circuit.
+func Format(d *Deck) string {
+	var b strings.Builder
+	title := d.Title
+	if title == "" {
+		title = "* untitled"
+	}
+	b.WriteString(title)
+	b.WriteByte('\n')
+	n := d.Netlist
+	for _, v := range n.VSources {
+		fmt.Fprintf(&b, "%s %s %s %s\n", v.Name, v.A, v.B, formatSource(v.Wave))
+	}
+	for _, t := range n.Transistors {
+		kind := "NMOS"
+		if t.Kind == circuit.KindPMOS {
+			kind = "PMOS"
+		}
+		fmt.Fprintf(&b, "%s %s %s %s %s %s W=%s L=%s",
+			t.Name, t.Drain, t.Gate, t.Source, t.Body, kind,
+			FormatValue(t.W), FormatValue(t.L))
+		if t.DrainJunc.Area > 0 {
+			fmt.Fprintf(&b, " AD=%s PD=%s", FormatValue(t.DrainJunc.Area), FormatValue(t.DrainJunc.Perim))
+		}
+		if t.SourceJunc.Area > 0 {
+			fmt.Fprintf(&b, " AS=%s PS=%s", FormatValue(t.SourceJunc.Area), FormatValue(t.SourceJunc.Perim))
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range n.Resistors {
+		fmt.Fprintf(&b, "%s %s %s %s\n", r.Name, r.A, r.B, FormatValue(r.R))
+	}
+	for _, c := range n.Capacitors {
+		fmt.Fprintf(&b, "%s %s %s %s\n", c.Name, c.A, c.B, FormatValue(c.C))
+	}
+	if len(d.IC) > 0 {
+		b.WriteString(".ic")
+		// Deterministic order.
+		keys := make([]string, 0, len(d.IC))
+		for k := range d.IC {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " V(%s)=%s", k, FormatValue(d.IC[k]))
+		}
+		b.WriteByte('\n')
+	}
+	if d.TranStep > 0 && d.TranStop > 0 {
+		fmt.Fprintf(&b, ".tran %s %s\n", FormatValue(d.TranStep), FormatValue(d.TranStop))
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+func formatSource(w interface{ Eval(t float64) float64 }) string {
+	switch s := w.(type) {
+	case nil:
+		return "DC 0"
+	case wave.DC:
+		return "DC " + FormatValue(float64(s))
+	case wave.Step:
+		// An ideal step becomes a 1 fs PWL ramp at the switching instant.
+		t0 := s.At
+		if t0 < 0 {
+			t0 = 0
+		}
+		return fmt.Sprintf("PWL(%s %s %s %s)",
+			FormatValue(t0), FormatValue(s.Low),
+			FormatValue(t0+1e-15), FormatValue(s.High))
+	case wave.Ramp:
+		return fmt.Sprintf("PWL(%s %s %s %s)",
+			FormatValue(s.T0), FormatValue(s.Low),
+			FormatValue(s.T1), FormatValue(s.High))
+	case *wave.PWL:
+		var b strings.Builder
+		b.WriteString("PWL(")
+		for i := range s.T {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s %s", FormatValue(s.T[i]), FormatValue(s.V[i]))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		// Sample unknown waveforms at t = 0 as a DC approximation.
+		return "DC " + FormatValue(w.Eval(0))
+	}
+}
+
+// FormatValue renders a number with the natural SPICE suffix.
+func FormatValue(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case abs >= 1e9:
+		return trimZero(v/1e9) + "g"
+	case abs >= 1e6:
+		return trimZero(v/1e6) + "meg"
+	case abs >= 1e3:
+		return trimZero(v/1e3) + "k"
+	case abs >= 1:
+		return trimZero(v)
+	case abs >= 1e-3:
+		return trimZero(v*1e3) + "m"
+	case abs >= 1e-6:
+		return trimZero(v*1e6) + "u"
+	case abs >= 1e-9:
+		return trimZero(v*1e9) + "n"
+	case abs >= 1e-12:
+		return trimZero(v*1e12) + "p"
+	default:
+		return trimZero(v*1e15) + "f"
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qwm/internal/circuit"
+	"qwm/internal/wave"
+)
+
+func TestFormatValueRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -2.5, 1500, 2e6, 3e9, 15e-15, 10e-12, 3.3, 0.35e-6, 5e-3, 47e-9} {
+		s := FormatValue(v)
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("ParseValue(FormatValue(%g) = %q): %v", v, s, err)
+		}
+		if math.Abs(got-v) > 1e-6*math.Abs(v)+1e-30 {
+			t.Errorf("round trip %g -> %q -> %g", v, s, got)
+		}
+	}
+}
+
+func TestFormatDeckRoundTrip(t *testing.T) {
+	d, err := ParseString(nandDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(d)
+	d2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	n1, n2 := d.Netlist, d2.Netlist
+	if len(n1.Transistors) != len(n2.Transistors) ||
+		len(n1.Resistors) != len(n2.Resistors) ||
+		len(n1.Capacitors) != len(n2.Capacitors) ||
+		len(n1.VSources) != len(n2.VSources) {
+		t.Fatalf("element counts differ:\n%s", text)
+	}
+	for i := range n1.Transistors {
+		a, b := n1.Transistors[i], n2.Transistors[i]
+		if a.Drain != b.Drain || a.Gate != b.Gate || a.Source != b.Source ||
+			a.Kind != b.Kind || math.Abs(a.W-b.W) > 1e-12 || math.Abs(a.L-b.L) > 1e-12 {
+			t.Errorf("transistor %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if d2.TranStep != d.TranStep || d2.TranStop != d.TranStop {
+		t.Errorf("tran params differ")
+	}
+	for k, v := range d.IC {
+		if math.Abs(d2.IC[k]-v) > 1e-9 {
+			t.Errorf("ic[%s] differs", k)
+		}
+	}
+	// Source waveforms behave identically.
+	for i := range n1.VSources {
+		w1, w2 := n1.VSources[i].Wave, n2.VSources[i].Wave
+		for _, tt := range []float64{0, 0.5e-12, 1e-12, 1e-9} {
+			if math.Abs(w1.Eval(tt)-w2.Eval(tt)) > 1e-6 {
+				t.Errorf("source %d differs at t=%g", i, tt)
+			}
+		}
+	}
+}
+
+func TestFormatSourceKinds(t *testing.T) {
+	d := &Deck{Netlist: &circuit.Netlist{}, IC: map[string]float64{}}
+	d.Netlist.AddVSource("v1", "a", "0", wave.DC(3.3))
+	d.Netlist.AddVSource("v2", "b", "0", wave.Step{At: 10e-12, Low: 0, High: 3.3})
+	d.Netlist.AddVSource("v3", "c", "0", wave.Ramp{T0: 0, T1: 50e-12, Low: 3.3, High: 0})
+	text := Format(d)
+	if !strings.Contains(text, "DC 3.3") {
+		t.Errorf("DC source missing:\n%s", text)
+	}
+	d2, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The step becomes a steep PWL: value just after the edge is High.
+	if got := d2.Netlist.VSources[1].Wave.Eval(11e-12); math.Abs(got-3.3) > 1e-9 {
+		t.Errorf("step re-parse = %g", got)
+	}
+	// The ramp midpoint survives.
+	if got := d2.Netlist.VSources[2].Wave.Eval(25e-12); math.Abs(got-1.65) > 1e-6 {
+		t.Errorf("ramp re-parse = %g", got)
+	}
+}

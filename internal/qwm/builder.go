@@ -1,0 +1,160 @@
+package qwm
+
+import (
+	"fmt"
+
+	"qwm/internal/circuit"
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/wave"
+)
+
+// BuildInput collects everything needed to turn a stage path into a QWM
+// chain: the characterized device library, the path and its surrounding
+// stage (for off-path parasitics), the input waveforms, explicit loads, and
+// optional initial conditions.
+type BuildInput struct {
+	Tech  *mos.Tech
+	Lib   *devmodel.Library
+	Stage *circuit.Stage
+	Path  *circuit.Path
+	// Inputs maps gate nets to their (unfolded) waveforms. Every transistor
+	// on the path must have one; off-path transistors are only capacitance.
+	Inputs map[string]wave.Waveform
+	// Loads maps node names to extra fixed capacitance (explicit load caps,
+	// wire capacitance, fanout gate capacitance).
+	Loads map[string]float64
+	// V0 maps node names to unfolded initial voltages. Nodes not listed
+	// start precharged (at VDD for a discharge path, at 0 for a charge
+	// path) — the worst-case STA scenario of paper Fig. 6.
+	V0 map[string]float64
+	// Analytic, when true, bypasses the characterized table and queries the
+	// golden model directly (the table-vs-analytic ablation).
+	Analytic bool
+}
+
+// Build assembles the QWM chain for a stage path. All transistors on the
+// path must share one polarity consistent with the rail (NMOS to ground,
+// PMOS to VDD).
+func Build(bi BuildInput) (*Chain, error) {
+	if bi.Tech == nil || bi.Path == nil || bi.Stage == nil {
+		return nil, fmt.Errorf("qwm: Build requires Tech, Stage and Path")
+	}
+	if bi.Lib == nil && !bi.Analytic {
+		return nil, fmt.Errorf("qwm: Build requires a device library (or Analytic mode)")
+	}
+	pol, err := pathPolarity(bi.Path)
+	if err != nil {
+		return nil, err
+	}
+	vdd := bi.Tech.VDD
+	ch := &Chain{Pol: pol, VDD: vdd}
+
+	model := func(l float64) (devmodel.IVModel, error) {
+		p := &bi.Tech.N
+		if pol == mos.PMOS {
+			p = &bi.Tech.P
+		}
+		if bi.Analytic {
+			return devmodel.NewAnalytic(p, bi.Tech, l), nil
+		}
+		return bi.Lib.Table(pol, l)
+	}
+
+	for _, pe := range bi.Path.Elems {
+		edge := pe.Edge
+		if edge.Kind == circuit.KindWire {
+			ch.Elems = append(ch.Elems, &Elem{R: edge.R, Name: "wire"})
+			continue
+		}
+		m, err := model(edge.L)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := bi.Inputs[edge.Gate]
+		if !ok {
+			return nil, fmt.Errorf("qwm: no input waveform for gate net %q", edge.Gate)
+		}
+		if pol == mos.PMOS {
+			g = FoldWave{W: g, VDD: vdd}
+		}
+		ch.Elems = append(ch.Elems, &Elem{
+			Model: m, W: edge.W, Gate: g,
+			Name: fmt.Sprintf("%s[%s]", edge.Kind, edge.Gate),
+		})
+	}
+
+	// Per-node capacitance: every transistor in the stage with a channel
+	// terminal on the node contributes its junction (voltage dependent),
+	// its gate overlap, and half its channel capacitance — on-path and
+	// off-path devices alike. Explicit loads are added as fixed.
+	for _, name := range bi.Path.InternalNodes() {
+		nc := NodeCap{Fixed: bi.Loads[name]}
+		for _, edge := range bi.Stage.Edges {
+			if edge.Kind == circuit.KindWire {
+				continue
+			}
+			tp := &bi.Tech.N
+			if edge.Kind == circuit.KindPMOS {
+				tp = &bi.Tech.P
+			}
+			touches := false
+			var junc mos.Junction
+			if t := edge.Ref; t != nil {
+				if t.Drain == name {
+					touches = true
+					junc = t.DrainJunc
+				} else if t.Source == name {
+					touches = true
+					junc = t.SourceJunc
+				}
+			} else if edge.Src == name || edge.Snk == name {
+				touches = true
+			}
+			if !touches {
+				continue
+			}
+			if junc == (mos.Junction{}) {
+				junc = tp.DefaultJunction(edge.W)
+			}
+			nc.Junctions = append(nc.Junctions, JunctionAt{P: tp, J: junc})
+			srcHalf, _ := tp.ChannelCapSplit(edge.W, edge.L)
+			nc.Fixed += tp.OverlapCap(edge.W) + srcHalf
+		}
+		ch.Caps = append(ch.Caps, nc)
+
+		v0 := vdd // folded precharge default
+		if uv, ok := bi.V0[name]; ok {
+			if pol == mos.PMOS {
+				v0 = vdd - uv
+			} else {
+				v0 = uv
+			}
+		}
+		ch.V0 = append(ch.V0, v0)
+	}
+	return ch, ch.Validate()
+}
+
+func pathPolarity(p *circuit.Path) (mos.Polarity, error) {
+	want := mos.NMOS
+	if circuit.CanonName(p.Rail) == circuit.SupplyNode {
+		want = mos.PMOS
+	}
+	for _, pe := range p.Elems {
+		switch pe.Edge.Kind {
+		case circuit.KindWire:
+		case circuit.KindNMOS:
+			if want != mos.NMOS {
+				return 0, fmt.Errorf("qwm: NMOS device on a pull-up path")
+			}
+		case circuit.KindPMOS:
+			if want != mos.PMOS {
+				return 0, fmt.Errorf("qwm: PMOS device on a pull-down path")
+			}
+		default:
+			return 0, fmt.Errorf("qwm: unsupported path element kind %v", pe.Edge.Kind)
+		}
+	}
+	return want, nil
+}

@@ -1,0 +1,444 @@
+package qwm
+
+import (
+	"fmt"
+
+	"qwm/internal/wave"
+)
+
+// Options tunes the QWM evaluation.
+type Options struct {
+	// FinalFractions are the folded output levels (as fractions of VDD) the
+	// final regions match at, after every transistor has turned on. The 50 %
+	// point is the delay measurement; the extra levels keep each region
+	// short enough for the linear-current assumption and extend the tail
+	// past the 10 % slew point. Defaults: 0.85, 0.7, 0.5, 0.3, 0.15, 0.08.
+	FinalFractions []float64
+	// MaxNR bounds Newton iterations per region (default 40).
+	MaxNR int
+	// UseDenseLU replaces the tridiagonal + Sherman–Morrison update with a
+	// dense LU solve — the paper's §IV-B ablation ("tridiagonal method gives
+	// almost twice speedup over LU decomposition").
+	UseDenseLU bool
+	// Horizon bounds the analysis time span (default 50 ns).
+	Horizon float64
+	// MaxRegions bounds the region count (default 12·K + 80).
+	MaxRegions int
+	// FreezeCaps keeps node capacitances at their region-start values (the
+	// paper's simplified presentation). By default the engine re-solves each
+	// region once with secant (charge-based) capacitances over the region's
+	// voltage excursion, which removes the systematic junction-capacitance
+	// bias at negligible cost.
+	FreezeCaps bool
+	// LinearWaveform replaces the quadratic voltage model with a piecewise
+	// LINEAR one (constant node current per region, matched at the critical
+	// point) — the simpler member of the paper's waveform-model family, kept
+	// as an ablation of the "art part" choice (§IV-A).
+	LinearWaveform bool
+	// NoSubdivision disables this implementation's region refinements (the
+	// duration caps and output-excursion caps) and reverts to the paper's
+	// plain scheme: exactly one region per turn-on plus one per final level.
+	// Kept as an ablation — it is where the quadratic model's advantage over
+	// the linear one shows.
+	NoSubdivision bool
+	// Trace, when set, receives a line per region for diagnostics.
+	Trace func(format string, args ...any)
+}
+
+func (o *Options) withDefaults(k int) Options {
+	out := *o
+	if out.FinalFractions == nil {
+		out.FinalFractions = []float64{0.85, 0.7, 0.5, 0.3, 0.15, 0.08}
+	}
+	if out.MaxNR == 0 {
+		out.MaxNR = 40
+	}
+	if out.Horizon == 0 {
+		out.Horizon = 50e-9
+	}
+	if out.MaxRegions == 0 {
+		// Turn-ons + level ladder + the geometric duration ramp on skewed
+		// chains; region solves are O(K), so a generous budget is cheap.
+		out.MaxRegions = 12*k + 80
+	}
+	return out
+}
+
+// Result is a QWM evaluation outcome.
+type Result struct {
+	// Folded holds the piecewise-quadratic waveform of each chain node
+	// (1..M) in folded coordinates.
+	Folded []*wave.PWQ
+	// Nodes holds the same waveforms unfolded to physical voltages.
+	Nodes []*wave.PWQ
+	// Output is Nodes[M-1], the chain output.
+	Output *wave.PWQ
+	// CriticalTimes are the region boundaries (the τ values of paper Fig. 9).
+	CriticalTimes []float64
+	Regions       int
+	NRIterations  int
+	DeviceEvals   int
+	// TailTruncated reports that a deep-tail final region (below 0.35·VDD)
+	// failed to converge and the waveform was truncated there; the 50 %
+	// delay point is unaffected.
+	TailTruncated bool
+}
+
+// Delay50 returns the 50 % propagation delay of the chain output relative
+// to the switching instant tIn, measured on the folded (falling) waveform so
+// both polarities share one code path.
+func (r *Result) Delay50(tIn, vdd float64) (float64, error) {
+	f := r.Folded[len(r.Folded)-1]
+	tc, ok := f.Crossing(vdd/2, false)
+	if !ok {
+		return 0, fmt.Errorf("qwm: output never crossed 50%% within the evaluated span")
+	}
+	return tc - tIn, nil
+}
+
+// engine is the per-evaluation state.
+type engine struct {
+	ch      *Chain
+	o       Options
+	m       int       // number of elements / non-rail nodes
+	t       float64   // current region start time
+	v       []float64 // folded node voltages, index 0..m (v[0] = rail = 0)
+	cur     []float64 // node currents C·dV/dt, index 1..m (cur[0] unused)
+	capn    []float64 // frozen node capacitances for the current region, 1..m
+	segs    []*wave.PWQ
+	front   int // index of the first off transistor element; m when all on
+	prevDur float64
+	res     *Result
+}
+
+// Evaluate runs piecewise quadratic waveform matching on a chain.
+func Evaluate(ch *Chain, opts Options) (*Result, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults(ch.Transistors())
+	m := ch.M()
+	e := &engine{
+		ch:   ch,
+		o:    o,
+		m:    m,
+		v:    make([]float64, m+1),
+		cur:  make([]float64, m+1),
+		capn: make([]float64, m+1),
+		segs: make([]*wave.PWQ, m),
+		res:  &Result{},
+	}
+	for k := 1; k <= m; k++ {
+		e.v[k] = ch.V0[k-1]
+		e.segs[k-1] = &wave.PWQ{}
+	}
+	e.res.CriticalTimes = append(e.res.CriticalTimes, 0)
+
+	e.advanceFront()
+	e.refreshCaps()
+	e.refreshCurrents()
+
+	// Turn-on regions: one per remaining off transistor.
+	for e.front < m {
+		if e.res.Regions >= o.MaxRegions {
+			return nil, fmt.Errorf("qwm: region limit %d exceeded", o.MaxRegions)
+		}
+		var tauP float64
+		var alpha []float64
+		var err error
+		if e.front == 0 {
+			// No active nodes: the first transistor waits for its gate.
+			tauP, err = e.gateWait()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			ev := e.turnOnEvent(e.front)
+			// Subdivide long waits: a turn-on residual is negative until it
+			// fires.
+			if !o.NoSubdivision && e.timeCappedRegion(e.front, ev, func(fe float64) bool { return fe < 0 }, e.durCap()) {
+				continue
+			}
+			tauP, alpha, err = e.solveRegionSecant(e.front, ev)
+			if err != nil {
+				return nil, fmt.Errorf("qwm: region %d (turn-on of element %d): %w", e.res.Regions, e.front, err)
+			}
+		}
+		if o.Trace != nil {
+			o.Trace("region %d: turn-on elem %d at τ'=%.4gps v=%v", e.res.Regions, e.front, tauP*1e12, e.v[1:])
+		}
+		e.commitRegion(tauP, alpha, e.front)
+		e.advanceFront()
+		e.refreshCaps()
+		e.refreshCurrents()
+	}
+
+	// Final regions: all transistors on; match at the requested output
+	// levels. Three per-region limits keep the linear-current model honest:
+	// the output swing is capped at 0.12·VDD and a 0.55× tail ratio
+	// (internal quasi-static nodes wander off the physical solution branch
+	// across large swings), and the region duration grows at most
+	// geometrically from the previous region, so the fast equilibration
+	// right after the last turn-on is resolved.
+	for _, frac := range o.FinalFractions {
+		target := frac * ch.VDD
+		// The slack must exceed the solver's event tolerance (1e-7·VDD).
+		for e.v[m] > target+1e-5 {
+			if e.res.Regions >= o.MaxRegions {
+				return nil, fmt.Errorf("qwm: region limit %d exceeded", o.MaxRegions)
+			}
+			sub := target
+			if !o.NoSubdivision {
+				if lim := e.v[m] - 0.12*ch.VDD; sub < lim {
+					sub = lim
+				}
+				if lim := e.v[m] * 0.55; sub < lim {
+					sub = lim
+				}
+				// A cross residual is positive until the level is reached.
+				if e.timeCappedRegion(m, e.crossEvent(sub), func(fe float64) bool { return fe > 0 }, e.durCap()) {
+					continue
+				}
+			}
+			tauP, alpha, err := e.solveRegionSecant(m, e.crossEvent(sub))
+			if err != nil {
+				if target < 0.35*ch.VDD && e.res.Regions > 0 {
+					// The delay point is already behind us; a stalled deep
+					// tail truncates the waveform rather than failing the
+					// whole evaluation.
+					e.res.TailTruncated = true
+					break
+				}
+				return nil, fmt.Errorf("qwm: final region to %.3g V: %w", sub, err)
+			}
+			if o.Trace != nil {
+				o.Trace("region %d: cross %.4g V at τ'=%.4gps", e.res.Regions, sub, tauP*1e12)
+			}
+			e.commitRegion(tauP, alpha, m)
+			e.refreshCaps()
+			e.refreshCurrents()
+		}
+		if e.res.TailTruncated {
+			break
+		}
+	}
+
+	// Assemble result.
+	e.res.Folded = e.segs
+	e.res.Nodes = make([]*wave.PWQ, m)
+	for i, p := range e.segs {
+		e.res.Nodes[i] = UnfoldPWQ(p, ch.VDD, ch.Pol)
+	}
+	e.res.Output = e.res.Nodes[m-1]
+	return e.res, nil
+}
+
+// --- chain state helpers ---
+
+// elemJ returns the current through element i flowing from node i+1 (upper)
+// down to node i (lower) at time t with the given terminal voltages, plus
+// its derivatives with respect to the lower and upper node voltages.
+func (e *engine) elemJ(i int, t, vLow, vUp float64) (j, dLow, dUp float64) {
+	el := e.ch.Elems[i]
+	if el.IsWire() {
+		g := 1 / el.R
+		return (vUp - vLow) * g, -g, g
+	}
+	e.res.DeviceEvals++
+	g := el.Gate.Eval(t)
+	j, _, dvd, dvs := el.Model.IV(el.W, g, vUp, vLow)
+	return j, dvs, dvd
+}
+
+// isOn reports whether transistor element i conducts at the current state:
+// its folded gate drive meets the body-adjusted threshold of its lower node.
+func (e *engine) isOn(i int) bool {
+	el := e.ch.Elems[i]
+	if el.IsWire() {
+		return true
+	}
+	vLow := e.v[i]
+	// The slack must exceed the region solver's event tolerance (1e-7·VDD)
+	// or a solved turn-on could fail to advance the front.
+	return el.Gate.Eval(e.t) >= vLow+el.Model.Threshold(vLow)-1e-5
+}
+
+// advanceFront extends the conducting prefix past every on element.
+func (e *engine) advanceFront() {
+	for e.front < e.m && e.isOn(e.front) {
+		e.front++
+	}
+}
+
+// refreshCaps freezes the node capacitances at the current voltages — the
+// constant-parasitic-per-region assumption of §III-C.
+func (e *engine) refreshCaps() {
+	for k := 1; k <= e.m; k++ {
+		e.capn[k] = e.ch.Caps[k-1].At(e.v[k], e.ch.VDD, e.ch.Pol)
+	}
+}
+
+// refreshCurrents re-derives the node currents from the device model at the
+// current state (active nodes 1..front; element `front` carries no current).
+func (e *engine) refreshCurrents() {
+	jPrev := 0.0 // J through element k-1, starting with element 0 below node 1
+	for k := 1; k <= e.m; k++ {
+		if k > e.front {
+			e.cur[k] = 0
+			continue
+		}
+		var jBelow float64
+		if k == 1 {
+			jBelow, _, _ = e.elemJ(0, e.t, 0, e.v[1])
+		} else {
+			jBelow = jPrev
+		}
+		var jAbove float64
+		if k < e.front {
+			jAbove, _, _ = e.elemJ(k, e.t, e.v[k], e.v[k+1])
+		}
+		e.cur[k] = jAbove - jBelow
+		jPrev = jAbove
+	}
+}
+
+// commitRegion appends this region's quadratic segments and moves the state
+// to τ′.
+func (e *engine) commitRegion(tauP float64, alpha []float64, active int) {
+	delta := tauP - e.t
+	for k := 1; k <= e.m; k++ {
+		var a float64
+		if k <= active && alpha != nil {
+			a = alpha[k-1]
+		}
+		if e.o.LinearWaveform && k <= active && alpha != nil {
+			// In the linear-waveform ablation the solved unknowns are the
+			// constant region currents themselves.
+			e.cur[k] = a
+			a = 0
+		}
+		seg := wave.QuadSeg{
+			T0: e.t, T1: tauP,
+			V0: e.v[k],
+			S:  e.cur[k] / e.capn[k],
+			A:  a / e.capn[k],
+		}
+		if k > active {
+			seg.S, seg.A = 0, 0
+		}
+		if err := e.segs[k-1].Append(seg); err != nil {
+			// The solver guarantees τ′ > τ; a failure here is a programming
+			// error, not an input condition.
+			panic("qwm: internal segment error: " + err.Error())
+		}
+		e.v[k] = seg.EndValue()
+		e.cur[k] += a * delta
+	}
+	e.t = tauP
+	e.prevDur = delta
+	e.res.Regions++
+	e.res.CriticalTimes = append(e.res.CriticalTimes, tauP)
+}
+
+// timeCappedRegion probes the region's event at τ′ = t + durCap by solving
+// only the α subsystem there. If the event has not yet fired (per notFired
+// on its residual), the fixed-duration region is committed and the caller
+// loops — this subdivides long regions so the linear-current chord stays
+// accurate through fast equilibration transients.
+func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, durCap float64) bool {
+	rs := e.newRegionSys(L, ev)
+	alpha := make([]float64, L)
+	if e.o.LinearWaveform {
+		copy(alpha, e.cur[1:L+1])
+	}
+	tauP := e.t + durCap
+	// The α-only probe keeps its own iteration floor so a throttled joint
+	// Newton budget does not change the region structure.
+	iter := e.o.MaxNR
+	if iter < 30 {
+		iter = 30
+	}
+	fe, ok := rs.solveAlphas(alpha, tauP, iter)
+	if !ok || !notFired(fe) {
+		return false
+	}
+	if !e.o.FreezeCaps {
+		// Secant-capacitance second pass, as in solveRegionSecant.
+		saved := append([]float64(nil), e.capn...)
+		for k := 1; k <= L; k++ {
+			e.capn[k] = e.ch.Caps[k-1].Secant(e.v[k], e.endVoltage(k, alpha[k-1], durCap), e.ch.VDD, e.ch.Pol)
+		}
+		alpha2 := make([]float64, L)
+		if fe2, ok2 := rs.solveAlphas(alpha2, tauP, iter); ok2 && notFired(fe2) {
+			alpha = alpha2
+		} else {
+			copy(e.capn, saved)
+		}
+	}
+	if e.o.Trace != nil {
+		e.o.Trace("region %d: time-cap %.4gps (%s pending)", e.res.Regions, tauP*1e12, ev.name)
+	}
+	e.commitRegion(tauP, alpha, L)
+	e.refreshCaps()
+	e.refreshCurrents()
+	return true
+}
+
+// endVoltage predicts node k's voltage after delta under the current
+// waveform model with solved parameter x.
+func (e *engine) endVoltage(k int, x, delta float64) float64 {
+	if e.o.LinearWaveform {
+		return e.v[k] + x*delta/e.capn[k]
+	}
+	return e.v[k] + (e.cur[k]*delta+0.5*x*delta*delta)/e.capn[k]
+}
+
+// durCap returns the geometric duration cap for the next region.
+func (e *engine) durCap() float64 {
+	d := 1.6 * e.prevDur
+	if d < 0.5e-12 {
+		d = 0.5e-12
+	}
+	return d
+}
+
+// solveRegionSecant runs the region solve, then — unless FreezeCaps — once
+// more with secant (charge-based) node capacitances evaluated over the
+// first pass's voltage excursion, so voltage-dependent junctions do not
+// bias the region endpoint.
+func (e *engine) solveRegionSecant(L int, ev event) (float64, []float64, error) {
+	tauP, alpha, err := e.solveRegion(L, ev)
+	if err != nil || e.o.FreezeCaps {
+		return tauP, alpha, err
+	}
+	delta := tauP - e.t
+	saved := append([]float64(nil), e.capn...)
+	for k := 1; k <= L; k++ {
+		e.capn[k] = e.ch.Caps[k-1].Secant(e.v[k], e.endVoltage(k, alpha[k-1], delta), e.ch.VDD, e.ch.Pol)
+	}
+	tauP2, alpha2, err2 := e.solveRegion(L, ev)
+	if err2 != nil {
+		copy(e.capn, saved)
+		return tauP, alpha, nil
+	}
+	return tauP2, alpha2, nil
+}
+
+// gateWait handles the degenerate first region where no transistor conducts:
+// τ′ is simply when the bottom gate crosses its threshold.
+func (e *engine) gateWait() (float64, error) {
+	el := e.ch.Elems[0]
+	level := el.Model.Threshold(0)
+	cr, ok := el.Gate.(wave.Crosser)
+	if !ok {
+		return 0, fmt.Errorf("qwm: element 0 gate waveform cannot locate its own threshold crossing")
+	}
+	tc, found := cr.Crossing(level, true)
+	if !found || tc > e.o.Horizon {
+		return 0, fmt.Errorf("qwm: element 0 never turns on within the horizon")
+	}
+	if tc <= e.t {
+		tc = e.t + 1e-15
+	}
+	return tc, nil
+}

@@ -1,0 +1,151 @@
+package sc
+
+import (
+	"math"
+	"testing"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/qwm"
+	"qwm/internal/wave"
+)
+
+var (
+	tech = mos.CMOSP35()
+	lib  = devmodel.NewLibrary(tech)
+)
+
+func stackChain(t testing.TB, k int, w, cl float64) *qwm.Chain {
+	tbl, err := lib.Table(mos.NMOS, tech.LMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &qwm.Chain{Pol: mos.NMOS, VDD: tech.VDD}
+	for i := 0; i < k; i++ {
+		var g wave.Waveform = wave.DC(tech.VDD)
+		if i == 0 {
+			g = wave.Step{At: 0, Low: 0, High: tech.VDD}
+		}
+		ch.Elems = append(ch.Elems, &qwm.Elem{Model: tbl, W: w, Gate: g})
+		ch.Caps = append(ch.Caps, qwm.NodeCap{Fixed: cl})
+		ch.V0 = append(ch.V0, tech.VDD)
+	}
+	return ch
+}
+
+func TestSCValidation(t *testing.T) {
+	ch := stackChain(t, 2, 1e-6, 5e-15)
+	if _, err := Evaluate(ch, Options{Step: 0, TStop: 1e-9}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Evaluate(ch, Options{Step: 1e-12, TStop: 0}); err == nil {
+		t.Error("zero tstop accepted")
+	}
+	bad := &qwm.Chain{}
+	if _, err := Evaluate(bad, Options{Step: 1e-12, TStop: 1e-9}); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestSCDischargesStack(t *testing.T) {
+	ch := stackChain(t, 3, 1e-6, 5e-15)
+	res, err := Evaluate(ch, Options{Step: 1e-12, TStop: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NonConverged > res.Steps/50 {
+		t.Errorf("%d of %d steps did not converge", res.NonConverged, res.Steps)
+	}
+	if v := res.Output.Eval(1e-9); v > 0.05 {
+		t.Errorf("output did not discharge: %g", v)
+	}
+	// Successive chords must rebuild far less often than it iterates.
+	if res.Rebuilds*4 > res.Steps {
+		t.Errorf("chord rebuilt too often: %d rebuilds over %d steps", res.Rebuilds, res.Steps)
+	}
+}
+
+// SC is an independent integration engine over the same chain model: its
+// delay must agree closely with QWM's.
+func TestSCAgreesWithQWM(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		ch := stackChain(t, k, 1.5e-6, 8e-15)
+		scRes, err := Evaluate(ch, Options{Step: 0.5e-12, TStop: 3e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dSC, err := Delay50(ch, scRes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qRes, err := qwm.Evaluate(ch, qwm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dQ, err := qRes.Delay50(0, tech.VDD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(dQ-dSC) / dSC; e > 0.03 {
+			t.Errorf("K=%d: qwm %g vs sc %g (%.1f%% apart)", k, dQ, dSC, 100*e)
+		}
+	}
+}
+
+func TestSCPMOSChain(t *testing.T) {
+	tbl, err := lib.Table(mos.PMOS, tech.LMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := wave.Step{At: 0, Low: tech.VDD, High: 0}
+	ch := &qwm.Chain{
+		Pol: mos.PMOS, VDD: tech.VDD,
+		Elems: []*qwm.Elem{
+			{Model: tbl, W: 2e-6, Gate: qwm.FoldWave{W: gate, VDD: tech.VDD}},
+			{Model: tbl, W: 2e-6, Gate: qwm.FoldWave{W: wave.DC(0), VDD: tech.VDD}},
+		},
+		Caps: []qwm.NodeCap{{Fixed: 6e-15}, {Fixed: 6e-15}},
+		V0:   []float64{tech.VDD, tech.VDD},
+	}
+	res, err := Evaluate(ch, Options{Step: 1e-12, TStop: 2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Output.Eval(2e-9); v < 0.9*tech.VDD {
+		t.Errorf("pull-up output = %g, want near VDD", v)
+	}
+	if _, err := Delay50(ch, res, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCWireChain(t *testing.T) {
+	tbl, _ := lib.Table(mos.NMOS, tech.LMin)
+	step := wave.Step{At: 0, Low: 0, High: tech.VDD}
+	ch := &qwm.Chain{
+		Pol: mos.NMOS, VDD: tech.VDD,
+		Elems: []*qwm.Elem{
+			{Model: tbl, W: 2e-6, Gate: step},
+			{R: 1e3},
+			{Model: tbl, W: 2e-6, Gate: wave.DC(tech.VDD)},
+		},
+		Caps: []qwm.NodeCap{{Fixed: 4e-15}, {Fixed: 4e-15}, {Fixed: 12e-15}},
+		V0:   []float64{tech.VDD, tech.VDD, tech.VDD},
+	}
+	res, err := Evaluate(ch, Options{Step: 1e-12, TStop: 3e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSC, err := Delay50(ch, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qRes, err := qwm.Evaluate(ch, qwm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dQ, _ := qRes.Delay50(0, tech.VDD)
+	if e := math.Abs(dQ-dSC) / dSC; e > 0.04 {
+		t.Errorf("wire chain: qwm %g vs sc %g", dQ, dSC)
+	}
+}

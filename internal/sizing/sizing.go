@@ -1,0 +1,167 @@
+// Package sizing is a design-loop application of the fast QWM evaluator —
+// the use the paper motivates ("the simulation speed and accuracy of each
+// logic stage... is essential for high-performance design"): optimizing the
+// transistor widths of a charge/discharge path under an area budget takes
+// hundreds to thousands of delay evaluations, which QWM makes interactive.
+//
+// The optimizer solves
+//
+//	minimize   delay(w₁…w_K)
+//	subject to Σ wᵢ = budget,  wMin ≤ wᵢ ≤ wMax
+//
+// by pairwise width transfers with golden-section line searches — every
+// move preserves the simplex constraint exactly, so no penalty tuning is
+// needed.
+package sizing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Evaluate returns the delay of a candidate width vector. Implementations
+// wrap the QWM harness (see bench.Harness) or any other engine.
+type Evaluate func(widths []float64) (float64, error)
+
+// Problem describes an area-constrained sizing run.
+type Problem struct {
+	Eval Evaluate
+	// Init is the starting width vector; its sum defines the area budget.
+	Init []float64
+	// WMin/WMax bound each width (defaults: 0.4 µm and the full budget).
+	WMin, WMax float64
+	// Sweeps bounds the coordinate-pair passes (default 6).
+	Sweeps int
+	// Tol stops early when a full sweep improves delay by less than this
+	// relative amount (default 1e-3).
+	Tol float64
+}
+
+// Result reports the optimization outcome.
+type Result struct {
+	Widths      []float64
+	Delay       float64
+	InitDelay   float64
+	Evaluations int
+}
+
+// Minimize runs the optimizer.
+func Minimize(p Problem) (*Result, error) {
+	k := len(p.Init)
+	if k < 2 {
+		return nil, fmt.Errorf("sizing: need at least two widths")
+	}
+	if p.Eval == nil {
+		return nil, fmt.Errorf("sizing: missing evaluator")
+	}
+	wMin := p.WMin
+	if wMin == 0 {
+		wMin = 0.4e-6
+	}
+	budget := 0.0
+	for _, w := range p.Init {
+		if w < wMin {
+			return nil, fmt.Errorf("sizing: initial width %g below minimum %g", w, wMin)
+		}
+		budget += w
+	}
+	wMax := p.WMax
+	if wMax == 0 {
+		wMax = budget
+	}
+	sweeps := p.Sweeps
+	if sweeps == 0 {
+		sweeps = 6
+	}
+	tol := p.Tol
+	if tol == 0 {
+		tol = 1e-3
+	}
+
+	res := &Result{Widths: append([]float64(nil), p.Init...)}
+	eval := func(w []float64) (float64, error) {
+		res.Evaluations++
+		return p.Eval(w)
+	}
+	cur, err := eval(res.Widths)
+	if err != nil {
+		return nil, err
+	}
+	res.InitDelay = cur
+
+	trial := make([]float64, k)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		start := cur
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				// Transfer t from w_j to w_i: t ∈ [lo, hi] keeps both in
+				// bounds; t = 0 is the current point.
+				lo := math.Max(wMin-res.Widths[i], res.Widths[j]-wMax)
+				hi := math.Min(wMax-res.Widths[i], res.Widths[j]-wMin)
+				if hi-lo < 1e-9 {
+					continue
+				}
+				f := func(t float64) (float64, error) {
+					copy(trial, res.Widths)
+					trial[i] += t
+					trial[j] -= t
+					return eval(trial)
+				}
+				tBest, dBest, err := golden(f, lo, hi, cur, 1e-8)
+				if err != nil {
+					return nil, err
+				}
+				if dBest < cur {
+					res.Widths[i] += tBest
+					res.Widths[j] -= tBest
+					cur = dBest
+				}
+			}
+		}
+		if (start-cur)/start < tol {
+			break
+		}
+	}
+	res.Delay = cur
+	return res, nil
+}
+
+// golden minimizes f over [lo, hi] with a golden-section search seeded by
+// the value at t = 0 (f0). Returns the best t and value found, including
+// t = 0 if nothing beats it.
+func golden(f func(float64) (float64, error), lo, hi, f0 float64, xtol float64) (float64, float64, error) {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, err := f(x1)
+	if err != nil {
+		return 0, 0, err
+	}
+	f2, err := f(x2)
+	if err != nil {
+		return 0, 0, err
+	}
+	for iter := 0; iter < 40 && (b-a) > xtol; iter++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1, err = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2, err = f(x2)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	tBest, dBest := x1, f1
+	if f2 < dBest {
+		tBest, dBest = x2, f2
+	}
+	if f0 <= dBest {
+		return 0, f0, nil
+	}
+	return tBest, dBest, nil
+}

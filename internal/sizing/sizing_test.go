@@ -1,0 +1,111 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+
+	"qwm/internal/bench"
+	"qwm/internal/mos"
+	"qwm/internal/qwm"
+	"qwm/internal/stages"
+)
+
+func stackEvaluator(t testing.TB, h *bench.Harness, cl float64) Evaluate {
+	return func(widths []float64) (float64, error) {
+		w, err := stages.Stack(h.Tech, widths, cl, 0)
+		if err != nil {
+			return 0, err
+		}
+		run, err := h.RunQWM(w, qwm.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return run.Delay, nil
+	}
+}
+
+func TestMinimizeQuadraticToy(t *testing.T) {
+	// Analytic sanity: delay ∝ Σ 1/wᵢ with Σwᵢ fixed is minimized by equal
+	// widths.
+	eval := func(w []float64) (float64, error) {
+		s := 0.0
+		for _, wi := range w {
+			s += 1 / wi
+		}
+		return s, nil
+	}
+	res, err := Minimize(Problem{
+		Eval: eval,
+		Init: []float64{1e-6, 3e-6, 2e-6},
+		WMin: 0.4e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay >= res.InitDelay {
+		t.Fatalf("no improvement: %g -> %g", res.InitDelay, res.Delay)
+	}
+	mean := 2e-6
+	for i, w := range res.Widths {
+		if math.Abs(w-mean) > 0.1e-6 {
+			t.Errorf("w[%d] = %g, want ≈ %g", i, w, mean)
+		}
+	}
+	// Budget conserved exactly.
+	sum := 0.0
+	for _, w := range res.Widths {
+		sum += w
+	}
+	if math.Abs(sum-6e-6) > 1e-12 {
+		t.Errorf("budget violated: %g", sum)
+	}
+}
+
+func TestMinimizeStackDelayWithQWM(t *testing.T) {
+	tech := mos.CMOSP35()
+	h, err := bench.NewHarness(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform 6×1.5 µm stack under a 9 µm budget; self-loading dominates, so
+	// the width distribution matters.
+	init := []float64{1.5e-6, 1.5e-6, 1.5e-6, 1.5e-6, 1.5e-6, 1.5e-6}
+	res, err := Minimize(Problem{
+		Eval: stackEvaluator(t, h, 8e-15),
+		Init: init,
+		WMin: 0.6e-6,
+		WMax: 4e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay >= res.InitDelay*0.98 {
+		t.Errorf("optimizer should beat uniform sizing by >2%%: %g -> %g (%d evals)",
+			res.InitDelay, res.Delay, res.Evaluations)
+	}
+	// The classic result: the rail-side device, which carries every node's
+	// discharge current, ends up at least as wide as the output-side device.
+	if res.Widths[0] < res.Widths[len(res.Widths)-1] {
+		t.Errorf("expected taper toward the output: %v", res.Widths)
+	}
+	if res.Evaluations < 50 {
+		t.Errorf("suspiciously few evaluations: %d", res.Evaluations)
+	}
+	t.Logf("uniform %.2fps -> optimized %.2fps in %d QWM evaluations (widths %v)",
+		res.InitDelay*1e12, res.Delay*1e12, res.Evaluations, res.Widths)
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	if _, err := Minimize(Problem{Eval: nil, Init: []float64{1e-6, 1e-6}}); err == nil {
+		t.Error("missing evaluator accepted")
+	}
+	if _, err := Minimize(Problem{Eval: func([]float64) (float64, error) { return 0, nil }, Init: []float64{1e-6}}); err == nil {
+		t.Error("single width accepted")
+	}
+	if _, err := Minimize(Problem{
+		Eval: func([]float64) (float64, error) { return 0, nil },
+		Init: []float64{1e-9, 1e-6},
+	}); err == nil {
+		t.Error("sub-minimum initial width accepted")
+	}
+}

@@ -1,0 +1,355 @@
+// Package spice is the baseline transient simulator this reproduction
+// measures QWM against — the stand-in for Hspice. It assembles a
+// modified-nodal-analysis system over the golden mos device model and
+// integrates it with fixed-step trapezoidal or backward-Euler companion
+// models, running damped Newton–Raphson at every time point (the expensive
+// inner loop the paper's method eliminates).
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"qwm/internal/circuit"
+	"qwm/internal/la"
+	"qwm/internal/mos"
+	"qwm/internal/wave"
+)
+
+// Method selects the integration rule.
+type Method int
+
+const (
+	// Trapezoidal is second-order accurate; Hspice's default class of rule.
+	Trapezoidal Method = iota
+	// BackwardEuler is first-order, heavily damped.
+	BackwardEuler
+)
+
+// Options configures a transient analysis.
+type Options struct {
+	TStop  float64
+	Step   float64
+	Method Method
+	// MaxNR bounds Newton iterations per time point (default 60).
+	MaxNR int
+	// Gmin is the convergence-aid conductance from every node to ground
+	// (default 1e-12 S).
+	Gmin float64
+	// IC, when non-nil, supplies initial node voltages ("use initial
+	// conditions" mode). Nodes driven by sources take the source value at
+	// t = 0; remaining unspecified nodes start at 0. When nil, a DC
+	// operating point at t = 0 provides the start state.
+	IC map[string]float64
+	// RecordNodes limits which node waveforms are stored (nil = all).
+	RecordNodes []string
+}
+
+// Stats reports the work a transient analysis performed.
+type Stats struct {
+	Steps        int
+	NRIterations int
+	NonConverged int // time points where NR hit its iteration budget
+}
+
+// Result holds the sampled node waveforms of a transient analysis.
+type Result struct {
+	T []float64
+	V map[string][]float64
+	// ISrc holds the branch current of every voltage source (positive
+	// current flows from the source's positive terminal into the circuit).
+	ISrc  map[string][]float64
+	Stats Stats
+}
+
+// SourceCurrent returns the PWL branch-current waveform of a source.
+func (r *Result) SourceCurrent(name string) (*wave.PWL, error) {
+	i, ok := r.ISrc[name]
+	if !ok {
+		return nil, fmt.Errorf("spice: source %q not recorded", name)
+	}
+	return wave.NewPWL(r.T, i)
+}
+
+// SupplyEnergy integrates v·i over the run for a DC supply of voltage vdd:
+// the energy the source delivered (joules). Trapezoidal quadrature over the
+// recorded samples.
+func (r *Result) SupplyEnergy(name string, vdd float64) (float64, error) {
+	i, ok := r.ISrc[name]
+	if !ok {
+		return 0, fmt.Errorf("spice: source %q not recorded", name)
+	}
+	e := 0.0
+	for k := 1; k < len(r.T); k++ {
+		dt := r.T[k] - r.T[k-1]
+		// The stamp convention has branch current flowing from the circuit
+		// into the source's positive terminal; negate for delivered power.
+		e += -vdd * 0.5 * (i[k] + i[k-1]) * dt
+	}
+	return e, nil
+}
+
+// Waveform returns the PWL waveform of a node (which must have been
+// recorded).
+func (r *Result) Waveform(node string) (*wave.PWL, error) {
+	node = circuit.CanonName(node)
+	v, ok := r.V[node]
+	if !ok {
+		return nil, fmt.Errorf("spice: node %q not recorded", node)
+	}
+	return wave.NewPWL(r.T, v)
+}
+
+// Simulator is a compiled netlist ready for analysis.
+type Simulator struct {
+	tech      *mos.Tech
+	nodeNames []string
+	idx       map[string]int
+	srcIdx    map[string]int // source name -> branch-current unknown index
+	n         int            // total unknowns: nodes + source branches
+	elems     []element
+	vdd       float64
+}
+
+// New compiles a netlist against a technology. Unless disableParasitics,
+// every transistor contributes its junction charges (drain/source to body),
+// gate overlap capacitances, and a split intrinsic channel capacitance —
+// the voltage-dependent parasitics of the paper's Definition 2.
+func New(n *circuit.Netlist, tech *mos.Tech, disableParasitics bool) (*Simulator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{tech: tech, idx: map[string]int{circuit.GroundNode: -1}, vdd: tech.VDD}
+	for _, name := range n.Nodes() {
+		if name == circuit.GroundNode {
+			continue
+		}
+		s.idx[name] = len(s.nodeNames)
+		s.nodeNames = append(s.nodeNames, name)
+	}
+	nv := len(s.nodeNames)
+	br := nv
+	s.srcIdx = map[string]int{}
+	for _, v := range n.VSources {
+		s.elems = append(s.elems, &vsrcElem{a: s.idx[v.A], b: s.idx[v.B], br: br, wave: v.Wave})
+		s.srcIdx[v.Name] = br
+		br++
+	}
+	s.n = br
+
+	for _, r := range n.Resistors {
+		s.elems = append(s.elems, &resistorElem{a: s.idx[r.A], b: s.idx[r.B], g: 1 / r.R})
+	}
+	for _, c := range n.Capacitors {
+		s.elems = append(s.elems, &chargeElem{a: s.idx[c.A], b: s.idx[c.B], qfn: linearQ(c.C)})
+	}
+	for _, t := range n.Transistors {
+		p := &tech.N
+		if t.Kind == circuit.KindPMOS {
+			p = &tech.P
+		}
+		d, g, src, b := s.idx[t.Drain], s.idx[t.Gate], s.idx[t.Source], s.idx[t.Body]
+		s.elems = append(s.elems, &mosElem{d: d, g: g, s: src, b: b, p: p, w: t.W, l: t.L})
+		if disableParasitics {
+			continue
+		}
+		dj := t.DrainJunc
+		if dj == (mos.Junction{}) {
+			dj = p.DefaultJunction(t.W)
+		}
+		sj := t.SourceJunc
+		if sj == (mos.Junction{}) {
+			sj = p.DefaultJunction(t.W)
+		}
+		s.elems = append(s.elems,
+			&chargeElem{a: d, b: b, qfn: junctionQ(p, dj)},
+			&chargeElem{a: src, b: b, qfn: junctionQ(p, sj)},
+			&chargeElem{a: g, b: d, qfn: linearQ(p.OverlapCap(t.W))},
+			&chargeElem{a: g, b: src, qfn: linearQ(p.CGSO * t.W)},
+		)
+		cs, cd := p.ChannelCapSplit(t.W, t.L)
+		s.elems = append(s.elems,
+			&chargeElem{a: g, b: src, qfn: linearQ(cs)},
+			&chargeElem{a: g, b: d, qfn: linearQ(cd)},
+		)
+	}
+	return s, nil
+}
+
+// Nodes returns the simulator's non-ground node names.
+func (s *Simulator) Nodes() []string { return append([]string(nil), s.nodeNames...) }
+
+// assemble zeroes and fills the residual and Jacobian at iterate x.
+func (s *Simulator) assemble(c *ctx, gmin float64) {
+	for i := range c.f {
+		c.f[i] = 0
+	}
+	c.jac.Zero()
+	for _, e := range s.elems {
+		e.stamp(c)
+	}
+	for i := 0; i < len(s.nodeNames); i++ {
+		c.f[i] += gmin * c.x[i]
+		c.jac.Add(i, i, gmin)
+	}
+}
+
+// solvePoint runs damped Newton at one evaluation context, starting from the
+// values already in c.x. It returns the iteration count and whether the
+// point converged.
+func (s *Simulator) solvePoint(c *ctx, gmin float64, maxNR int) (int, bool) {
+	prob := la.NewtonProblem{
+		N: s.n,
+		Eval: func(x, f []float64, jac *la.Matrix) {
+			cc := *c
+			cc.x, cc.f, cc.jac = x, f, jac
+			s.assemble(&cc, gmin)
+		},
+		FTol:    1e-9,
+		XTol:    1e-12,
+		MaxIter: maxNR,
+		Damping: true,
+		Clamp: func(x []float64) {
+			lo, hi := -2.0, s.vdd+2.0
+			for i := 0; i < len(s.nodeNames); i++ {
+				if x[i] < lo {
+					x[i] = lo
+				}
+				if x[i] > hi {
+					x[i] = hi
+				}
+			}
+		},
+	}
+	res, err := la.SolveNewton(prob, c.x)
+	if err != nil {
+		return res.Iterations, false
+	}
+	copy(c.x, res.X)
+	return res.Iterations, res.Converged
+}
+
+// DCOp computes the DC operating point with sources evaluated at time t.
+func (s *Simulator) DCOp(t float64) (map[string]float64, error) {
+	c := &ctx{
+		x:   make([]float64, s.n),
+		f:   make([]float64, s.n),
+		jac: la.NewMatrix(s.n, s.n),
+		t:   t,
+		dc:  true,
+	}
+	s.seedFromSources(c.x, t)
+	// Gmin stepping: start with a heavy convergence aid and relax it.
+	for _, gmin := range []float64{1e-3, 1e-6, 1e-9, 1e-12} {
+		if _, ok := s.solvePoint(c, gmin, 80); !ok && gmin == 1e-12 {
+			return nil, fmt.Errorf("spice: DC operating point did not converge")
+		}
+	}
+	out := map[string]float64{circuit.GroundNode: 0}
+	for i, name := range s.nodeNames {
+		out[name] = c.x[i]
+	}
+	return out, nil
+}
+
+// seedFromSources sets source-driven node voltages (relative to ground) as
+// the initial Newton guess.
+func (s *Simulator) seedFromSources(x []float64, t float64) {
+	for _, e := range s.elems {
+		if v, ok := e.(*vsrcElem); ok && v.b == -1 && v.a >= 0 {
+			x[v.a] = v.value(t)
+		}
+	}
+}
+
+// Transient runs a fixed-step transient analysis.
+func (s *Simulator) Transient(o Options) (*Result, error) {
+	if o.Step <= 0 || o.TStop <= 0 {
+		return nil, fmt.Errorf("spice: Step and TStop must be positive")
+	}
+	maxNR := o.MaxNR
+	if maxNR == 0 {
+		maxNR = 60
+	}
+	gmin := o.Gmin
+	if gmin == 0 {
+		gmin = 1e-12
+	}
+	c := &ctx{
+		x:    make([]float64, s.n),
+		f:    make([]float64, s.n),
+		jac:  la.NewMatrix(s.n, s.n),
+		trap: o.Method == Trapezoidal,
+	}
+
+	// Initial state.
+	if o.IC != nil {
+		s.seedFromSources(c.x, 0)
+		for name, v := range o.IC {
+			if i, ok := s.idx[circuit.CanonName(name)]; ok && i >= 0 {
+				c.x[i] = v
+			}
+		}
+	} else {
+		op, err := s.DCOp(0)
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range s.nodeNames {
+			c.x[i] = op[name]
+		}
+	}
+	c.t, c.h, c.dc = 0, o.Step, false
+	for _, e := range s.elems {
+		if st, ok := e.(stateful); ok {
+			st.initState(c)
+		}
+	}
+
+	record := map[string]bool{}
+	if o.RecordNodes == nil {
+		for _, n := range s.nodeNames {
+			record[n] = true
+		}
+	} else {
+		for _, n := range o.RecordNodes {
+			record[circuit.CanonName(n)] = true
+		}
+	}
+	res := &Result{V: map[string][]float64{}, ISrc: map[string][]float64{}}
+	push := func(t float64) {
+		res.T = append(res.T, t)
+		for i, name := range s.nodeNames {
+			if record[name] {
+				res.V[name] = append(res.V[name], c.x[i])
+			}
+		}
+		for name, br := range s.srcIdx {
+			res.ISrc[name] = append(res.ISrc[name], c.x[br])
+		}
+	}
+	push(0)
+
+	// The grid is uniform; TStop is rounded to the nearest whole step so the
+	// companion models always see a constant h.
+	steps := int(math.Round(o.TStop / o.Step))
+	if steps < 1 {
+		steps = 1
+	}
+	for k := 1; k <= steps; k++ {
+		c.t = float64(k) * o.Step
+		iters, ok := s.solvePoint(c, gmin, maxNR)
+		res.Stats.NRIterations += iters
+		if !ok {
+			res.Stats.NonConverged++
+		}
+		for _, e := range s.elems {
+			if st, okSt := e.(stateful); okSt {
+				st.accept(c)
+			}
+		}
+		res.Stats.Steps++
+		push(c.t)
+	}
+	return res, nil
+}

@@ -1,0 +1,355 @@
+// Package sta is the static-timing-analysis layer of the paper's title: it
+// partitions a transistor netlist into logic stages (channel-connected
+// components), orders them topologically along gate connectivity, evaluates
+// each stage's worst-case rise and fall delays with the QWM engine, and
+// propagates arrival times to the primary outputs — "only the timing of the
+// logic stages along the longest paths needs to be considered" (§I).
+//
+// Stage delays are cached by stage identity, so re-analysis after a local
+// edit (the incremental-STA use case) only re-evaluates the stages whose
+// devices changed and re-propagates arrivals.
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"qwm/internal/circuit"
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/qwm"
+	"qwm/internal/wave"
+)
+
+// Arrival is a rise/fall arrival-time pair in seconds, with the transition
+// times (10–90 % slews) of the arriving edges. The zero Arrival means
+// "arrives at t = 0 in both directions as an ideal step".
+type Arrival struct {
+	Rise, Fall         float64
+	RiseSlew, FallSlew float64
+}
+
+// Analyzer evaluates stage delays with QWM over a characterized library.
+type Analyzer struct {
+	Tech *mos.Tech
+	Lib  *devmodel.Library
+	// Opts tunes the per-stage QWM evaluations.
+	Opts qwm.Options
+
+	cache     map[string]stageTiming
+	evaluated int
+}
+
+// New creates an analyzer with a fresh delay cache.
+func New(tech *mos.Tech, lib *devmodel.Library) *Analyzer {
+	return &Analyzer{Tech: tech, Lib: lib, cache: map[string]stageTiming{}}
+}
+
+// stageTiming is the cached QWM result for one stage output.
+type stageTiming struct {
+	fallDelay, fallSlew float64 // output falling (pull-down path)
+	riseDelay, riseSlew float64 // output rising (pull-up path)
+	fallOK, riseOK      bool
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// Arrivals holds the latest rise/fall arrival per net (primary inputs
+	// and stage outputs).
+	Arrivals map[string]Arrival
+	// CriticalPath lists the nets from a primary input to the worst
+	// primary output, latest first.
+	CriticalPath []string
+	// WorstSlack output arrival (max over requested outputs and
+	// directions).
+	WorstArrival float64
+	WorstOutput  string
+	// StagesEvaluated counts QWM evaluations performed (cache misses × 2
+	// directions); the incremental path keeps this small.
+	StagesEvaluated int
+}
+
+// Analyze runs a full timing analysis: the netlist is partitioned into
+// stages, stage delays are evaluated (or reused from the cache), and
+// arrivals propagate from the primary inputs to the requested outputs.
+func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outputs []string) (*Result, error) {
+	stages := circuit.ExtractStages(n, outputs)
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("sta: no logic stages found")
+	}
+
+	// Net → producing stage, and stage → input nets.
+	producer := map[string]*circuit.Stage{}
+	for _, st := range stages {
+		for _, o := range st.Outputs {
+			producer[o] = st
+		}
+	}
+	// Topological order over stages via DFS from outputs.
+	order, err := topoOrder(stages, producer)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Arrivals: map[string]Arrival{}}
+	evalStart := a.evaluated
+	pred := map[string]string{} // net -> worst predecessor net
+	for net, ar := range primary {
+		res.Arrivals[circuit.CanonName(net)] = ar
+	}
+
+	for _, st := range order {
+		// Latest input arrivals for this stage. An input that rises makes
+		// the pull-down conduct (output falls), and vice versa. The arriving
+		// edge's slew shapes the stage's input ramp.
+		latestRise, latestFall := 0.0, 0.0
+		riseSlew, fallSlew := 0.0, 0.0
+		riseFrom, fallFrom := "", ""
+		for _, in := range st.Inputs {
+			ar, ok := res.Arrivals[in]
+			if !ok {
+				// Unconstrained input: treat as arriving at t = 0.
+				ar = Arrival{}
+			}
+			if ar.Rise >= latestRise {
+				latestRise, riseSlew, riseFrom = ar.Rise, ar.RiseSlew, in
+			}
+			if ar.Fall >= latestFall {
+				latestFall, fallSlew, fallFrom = ar.Fall, ar.FallSlew, in
+			}
+		}
+		for _, out := range st.Outputs {
+			timing, err := a.stageTiming(n, st, out, riseSlew, fallSlew)
+			if err != nil {
+				return nil, err
+			}
+			ar := res.Arrivals[out]
+			if timing.fallOK {
+				ar.Fall = latestRise + timing.fallDelay
+				ar.FallSlew = timing.fallSlew
+				pred[out+"~fall"] = riseFrom
+			}
+			if timing.riseOK {
+				ar.Rise = latestFall + timing.riseDelay
+				ar.RiseSlew = timing.riseSlew
+				pred[out+"~rise"] = fallFrom
+			}
+			res.Arrivals[out] = ar
+		}
+	}
+
+	// Worst requested output and its path.
+	worst, worstNet, worstDir := -1.0, "", ""
+	for _, o := range outputs {
+		o = circuit.CanonName(o)
+		ar, ok := res.Arrivals[o]
+		if !ok {
+			return nil, fmt.Errorf("sta: output %q has no arrival (not driven?)", o)
+		}
+		if ar.Fall > worst {
+			worst, worstNet, worstDir = ar.Fall, o, "fall"
+		}
+		if ar.Rise > worst {
+			worst, worstNet, worstDir = ar.Rise, o, "rise"
+		}
+	}
+	res.WorstArrival = worst
+	res.WorstOutput = worstNet
+	res.StagesEvaluated = a.evaluated - evalStart
+	// Trace the critical path back through alternating directions.
+	net, dir := worstNet, worstDir
+	for net != "" {
+		res.CriticalPath = append(res.CriticalPath, net)
+		p := pred[net+"~"+dir]
+		if dir == "fall" {
+			dir = "rise"
+		} else {
+			dir = "fall"
+		}
+		if p == net {
+			break
+		}
+		net = p
+	}
+	return res, nil
+}
+
+// stageTiming returns (possibly cached) QWM delays for one stage output
+// under the given input slews. Slews are bucketed to 5 ps so nearby values
+// share a cache entry.
+func (a *Analyzer) stageTiming(n *circuit.Netlist, st *circuit.Stage, out string, inRiseSlew, inFallSlew float64) (stageTiming, error) {
+	key := fmt.Sprintf("%s|%d|%d", stageKey(st, out), slewBucket(inRiseSlew), slewBucket(inFallSlew))
+	if t, ok := a.cache[key]; ok {
+		return t, nil
+	}
+	var t stageTiming
+	loads := a.fanoutLoads(n, st, out)
+
+	fall, err := a.evalDirection(st, out, circuit.GroundNode, loads, inRiseSlew)
+	if err == nil {
+		t.fallDelay, t.fallSlew, t.fallOK = fall.delay, fall.slew, true
+	}
+	rise, err := a.evalDirection(st, out, circuit.SupplyNode, loads, inFallSlew)
+	if err == nil {
+		t.riseDelay, t.riseSlew, t.riseOK = rise.delay, rise.slew, true
+	}
+	if !t.fallOK && !t.riseOK {
+		return t, fmt.Errorf("sta: stage %s output %q has neither pull-up nor pull-down path", st.Name, out)
+	}
+	a.cache[key] = t
+	a.evaluated++
+	return t, nil
+}
+
+func slewBucket(s float64) int {
+	const pitch = 5e-12
+	return int(s / pitch)
+}
+
+type dirResult struct{ delay, slew float64 }
+
+// evalDirection evaluates the worst path to one rail with the canonical
+// worst-case stimulus: the rail-side input switches at t = 0 — as an ideal
+// step when inSlew is zero, otherwise as a ramp with the upstream stage's
+// transition time — every other path input is held conducting, and the
+// path nodes start precharged (discharge) or pre-discharged (charge).
+func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[string]float64, inSlew float64) (dirResult, error) {
+	path, err := circuit.LongestPath(st, out, rail)
+	if err != nil {
+		return dirResult{}, err
+	}
+	vdd := a.Tech.VDD
+	inputs := map[string]wave.Waveform{}
+	onLevel, offLevel := vdd, 0.0
+	if rail == circuit.SupplyNode {
+		onLevel, offLevel = 0, vdd // PMOS conducts with a low gate
+	}
+	var sw wave.Waveform = wave.Step{At: 0, Low: offLevel, High: onLevel}
+	tIn := 0.0
+	if inSlew > 0 {
+		// The 10–90 % slew spans 80 % of the swing; the full ramp is 1.25×.
+		full := 1.25 * inSlew
+		sw = wave.Ramp{T0: 0, T1: full, Low: offLevel, High: onLevel}
+		tIn = full / 2
+	}
+	first := true
+	for _, pe := range path.Elems {
+		if pe.Edge.Kind == circuit.KindWire {
+			continue
+		}
+		if first {
+			inputs[pe.Edge.Gate] = sw
+			first = false
+			continue
+		}
+		if _, dup := inputs[pe.Edge.Gate]; !dup {
+			inputs[pe.Edge.Gate] = wave.DC(onLevel)
+		}
+	}
+	ch, err := qwm.Build(qwm.BuildInput{
+		Tech: a.Tech, Lib: a.Lib, Stage: st, Path: path,
+		Inputs: inputs, Loads: loads,
+	})
+	if err != nil {
+		return dirResult{}, err
+	}
+	res, err := qwm.Evaluate(ch, a.Opts)
+	if err != nil {
+		return dirResult{}, err
+	}
+	d, err := res.Delay50(tIn, vdd)
+	if err != nil {
+		return dirResult{}, err
+	}
+	folded := res.Folded[len(res.Folded)-1]
+	slew, _ := wave.Slew(folded, vdd, false)
+	return dirResult{delay: d, slew: slew}, nil
+}
+
+// fanoutLoads sums the gate capacitance of every transistor the stage
+// output drives plus explicit grounded capacitors on the net.
+func (a *Analyzer) fanoutLoads(n *circuit.Netlist, st *circuit.Stage, out string) map[string]float64 {
+	loads := map[string]float64{}
+	for _, t := range n.Transistors {
+		if t.Gate != out {
+			continue
+		}
+		p := &a.Tech.N
+		if t.Kind == circuit.KindPMOS {
+			p = &a.Tech.P
+		}
+		loads[out] += p.GateCap(t.W, t.L)
+	}
+	for _, c := range n.Capacitors {
+		if c.A == out && c.B == circuit.GroundNode {
+			loads[out] += c.C
+		}
+		if c.B == out && c.A == circuit.GroundNode {
+			loads[out] += c.C
+		}
+	}
+	// Internal path nodes also carry their explicit caps.
+	for _, c := range n.Capacitors {
+		for _, nd := range st.Nodes {
+			if nd == out {
+				continue
+			}
+			if (c.A == nd && c.B == circuit.GroundNode) || (c.B == nd && c.A == circuit.GroundNode) {
+				loads[nd] += c.C
+			}
+		}
+	}
+	return loads
+}
+
+// stageKey identifies a stage's timing-relevant content: its devices,
+// geometry and connectivity, plus the observed output.
+func stageKey(st *circuit.Stage, out string) string {
+	key := out + "|"
+	edges := make([]string, 0, len(st.Edges))
+	for _, e := range st.Edges {
+		edges = append(edges, fmt.Sprintf("%v:%s>%s@%s:%g:%g:%g", e.Kind, e.Src, e.Snk, e.Gate, e.W, e.L, e.R))
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		key += e + ";"
+	}
+	return key
+}
+
+// topoOrder sorts stages so producers precede consumers.
+func topoOrder(stages []*circuit.Stage, producer map[string]*circuit.Stage) ([]*circuit.Stage, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*circuit.Stage]int{}
+	var order []*circuit.Stage
+	var visit func(st *circuit.Stage) error
+	visit = func(st *circuit.Stage) error {
+		switch color[st] {
+		case gray:
+			return fmt.Errorf("sta: combinational loop through stage %s", st.Name)
+		case black:
+			return nil
+		}
+		color[st] = gray
+		for _, in := range st.Inputs {
+			if p, ok := producer[in]; ok && p != st {
+				if err := visit(p); err != nil {
+					return err
+				}
+			}
+		}
+		color[st] = black
+		order = append(order, st)
+		return nil
+	}
+	for _, st := range stages {
+		if err := visit(st); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,109 @@
+package stages
+
+import (
+	"math"
+	"testing"
+
+	"qwm/internal/netlist"
+	"qwm/internal/wave"
+)
+
+const deckSrc = `nand2 pulldown
+Vdd vdd 0 DC 3.3
+Vin in0 0 PWL(0 0 0.1p 3.3)
+Vin1 in1 0 DC 3.3
+M1 x1 in0 0 0 NMOS W=1u L=0.35u
+M2 out in1 x1 0 NMOS W=1u L=0.35u
+MP1 out in0 vdd vdd PMOS W=2u L=0.35u
+MP2 out in1 vdd vdd PMOS W=2u L=0.35u
+C1 out 0 15f
+.ic V(out)=3.3 V(x1)=3.3
+.tran 1p 2n
+.end
+`
+
+func TestFromDeck(t *testing.T) {
+	d, err := netlist.ParseString(deckSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromDeck(d, "out", "0", tech.VDD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path.Transistors() != 2 {
+		t.Errorf("K = %d", w.Path.Transistors())
+	}
+	if math.Abs(w.Loads["out"]-15e-15) > 1e-20 {
+		t.Errorf("load = %g", w.Loads["out"])
+	}
+	if w.IC["x1"] != 3.3 {
+		t.Errorf("ic = %v", w.IC)
+	}
+	if w.TStop != 2e-9 {
+		t.Errorf("tstop = %g", w.TStop)
+	}
+	// Switching instant: the PWL's 50 % crossing.
+	if math.Abs(w.SwitchAt-0.05e-12) > 1e-15 {
+		t.Errorf("switchAt = %g", w.SwitchAt)
+	}
+	if _, ok := w.Inputs["in0"]; !ok {
+		t.Error("switching input missing")
+	}
+	if w.Rising {
+		t.Error("pull-down workload should be falling")
+	}
+}
+
+func TestFromDeckDefaults(t *testing.T) {
+	d, err := netlist.ParseString("inv\nVdd vdd 0 DC 3.3\nVa a 0 DC 0\nM1 out a 0 0 NMOS W=1u L=0.35u\nM2 out a vdd vdd PMOS W=2u L=0.35u\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromDeck(d, "out", "0", tech.VDD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TStop != 5e-9 {
+		t.Errorf("default tstop = %g", w.TStop)
+	}
+	if w.SwitchAt != 0 {
+		t.Errorf("no switching sources: switchAt = %g", w.SwitchAt)
+	}
+}
+
+func TestFromDeckErrors(t *testing.T) {
+	d, err := netlist.ParseString(deckSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDeck(d, "nonexistent", "0", tech.VDD, 0); err == nil {
+		t.Error("unknown output accepted")
+	}
+	// A source not referenced to ground is rejected.
+	d2, err := netlist.ParseString("t\nVx a b DC 1\nR1 a b 1k\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromDeck(d2, "a", "0", tech.VDD, 0); err == nil {
+		t.Error("non-ground-referenced source accepted")
+	}
+	_ = wave.DC(0)
+}
+
+func TestFromDeckFloatingCapLoadsBothEnds(t *testing.T) {
+	d, err := netlist.ParseString("t\nVdd vdd 0 DC 3.3\nVa a 0 PWL(0 0 1p 3.3)\nM1 out a 0 0 NMOS W=1u L=0.35u\nM2 out a vdd vdd PMOS W=2u L=0.35u\nCc out x 5f\nR1 x 0 1k\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromDeck(d, "out", "0", tech.VDD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.Loads["out"]-5e-15) > 1e-20 {
+		t.Errorf("floating cap not counted at out: %v", w.Loads)
+	}
+	if math.Abs(w.Loads["x"]-5e-15) > 1e-20 {
+		t.Errorf("floating cap not counted at x: %v", w.Loads)
+	}
+}

@@ -1,0 +1,134 @@
+package stages
+
+import (
+	"fmt"
+
+	"qwm/internal/awe"
+	"qwm/internal/circuit"
+	"qwm/internal/mos"
+	"qwm/internal/wave"
+)
+
+// DefaultWire is a representative 0.35 µm metal layer: ~0.12 Ω/µm and
+// ~0.2 fF/µm.
+var DefaultWire = awe.WireRC{ROhmPerM: 0.12e6, CFPerM: 2e-10}
+
+// DecoderTree builds the discharge path of the paper's memory decoder
+// (Fig. 3): `levels` series NMOS address transistors connected by wires
+// whose lengths double at each level, mimicking the tree layout where a
+// level-k wire spans 2^k leaf cells. Each wire is reduced to its AWE π
+// macro-model (paper §V-C) and the same π network is what the SPICE
+// baseline simulates, so the comparison isolates the evaluation algorithm.
+//
+// baseLen is the level-0 wire length in meters (e.g. 50 µm); the level-k
+// wire is baseLen·2^k.
+func DecoderTree(tech *mos.Tech, levels int, w, baseLen, cl, at float64) (*Workload, error) {
+	return decoderTree(tech, levels, w, baseLen, cl, at, false)
+}
+
+// DecoderTreeWithBranches is DecoderTree plus the UNSELECTED half of each
+// tree fork: at every junction a side wire of the same level length hangs
+// off the path, terminated by an off address transistor (its complementary
+// address input is low). The branch is physically present in the SPICE
+// netlist (π + off device); for the QWM chain it is reduced to a lumped
+// load — the branch π capacitance plus the off device's junction — at the
+// junction node, the standard STA treatment of non-switching fanout.
+func DecoderTreeWithBranches(tech *mos.Tech, levels int, w, baseLen, cl, at float64) (*Workload, error) {
+	return decoderTree(tech, levels, w, baseLen, cl, at, true)
+}
+
+func decoderTree(tech *mos.Tech, levels int, w, baseLen, cl, at float64, branches bool) (*Workload, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("stages: decoder tree needs at least 2 levels")
+	}
+	n := &circuit.Netlist{}
+	sw := wave.Step{At: at, Low: 0, High: tech.VDD}
+	n.AddVSource("vvdd", "vdd", "0", wave.DC(tech.VDD))
+	n.AddVSource("vin0", "in0", "0", sw)
+	inputs := map[string]wave.Waveform{"in0": sw}
+	loads := map[string]float64{}
+	ic := map[string]float64{}
+
+	prev := "0"
+	node := 0
+	next := func(last bool) string {
+		node++
+		if last {
+			return "out"
+		}
+		return fmt.Sprintf("x%d", node)
+	}
+	for lvl := 0; lvl < levels; lvl++ {
+		gate := fmt.Sprintf("in%d", lvl)
+		if lvl > 0 {
+			n.AddVSource("v"+gate, gate, "0", wave.DC(tech.VDD))
+			inputs[gate] = wave.DC(tech.VDD)
+		}
+		// Address transistor of this level.
+		drain := next(false)
+		n.AddTransistor(&circuit.Transistor{
+			Name: fmt.Sprintf("m%d", lvl), Kind: circuit.KindNMOS,
+			Drain: drain, Gate: gate, Source: prev, Body: "0",
+			W: w, L: tech.LMin,
+		})
+		ic[drain] = tech.VDD
+		prev = drain
+
+		// Wire up to the next level (none after the last transistor's output
+		// — the output IS the far end of the last wire).
+		length := baseLen * float64(int(1)<<lvl)
+		rw, cw := DefaultWire.Totals(length)
+		pi, err := awe.PiForWire(rw, cw)
+		if err != nil {
+			return nil, err
+		}
+		far := next(lvl == levels-1)
+		n.AddResistor(fmt.Sprintf("rw%d", lvl), prev, far, pi.R)
+		n.AddCapacitor(fmt.Sprintf("cwn%d", lvl), prev, "0", pi.CNear)
+		n.AddCapacitor(fmt.Sprintf("cwf%d", lvl), far, "0", pi.CFar)
+		loads[prev] += pi.CNear
+		loads[far] += pi.CFar
+		ic[far] = tech.VDD
+		if branches {
+			// The unselected fork: a same-length side wire to an off address
+			// device whose gate is the complemented (low) address bit.
+			gBar := fmt.Sprintf("in%db", lvl)
+			n.AddVSource("v"+gBar, gBar, "0", wave.DC(0))
+			inputs[gBar] = wave.DC(0)
+			bn := fmt.Sprintf("b%d", lvl)
+			n.AddResistor(fmt.Sprintf("rwb%d", lvl), far, bn, pi.R)
+			n.AddCapacitor(fmt.Sprintf("cwbn%d", lvl), far, "0", pi.CNear)
+			n.AddCapacitor(fmt.Sprintf("cwbf%d", lvl), bn, "0", pi.CFar)
+			bDev := fmt.Sprintf("bx%d", lvl)
+			n.AddTransistor(&circuit.Transistor{
+				Name: fmt.Sprintf("mb%d", lvl), Kind: circuit.KindNMOS,
+				Drain: bn, Gate: gBar, Source: bDev, Body: "0",
+				W: w, L: tech.LMin,
+			})
+			ic[bn] = tech.VDD
+			ic[bDev] = tech.VDD
+			// Lumped reduction for the QWM chain: the branch wire's total
+			// capacitance plus the off device's drain junction land on the
+			// junction node. (The wire resistance shields part of it; the
+			// lumped form is the conservative STA treatment.)
+			junc := tech.N.DefaultJunction(w)
+			loads[far] += pi.CNear + pi.CFar + tech.N.JunctionCap(junc, tech.VDD/2)
+		}
+		prev = far
+	}
+	n.AddCapacitor("cl", "out", "0", cl)
+	loads["out"] += cl
+
+	wkl := &Workload{
+		Name:     fmt.Sprintf("decoder%d", levels),
+		Netlist:  n,
+		Output:   "out",
+		Rail:     circuit.GroundNode,
+		Inputs:   inputs,
+		SwitchAt: at,
+		Loads:    loads,
+		IC:       ic,
+		TStop:    6e-9,
+	}
+	return wkl, wkl.finish()
+}

@@ -1,0 +1,136 @@
+package stages
+
+import (
+	"fmt"
+
+	"qwm/internal/circuit"
+	"qwm/internal/mos"
+	"qwm/internal/wave"
+)
+
+// ManchesterChain builds the dynamic Manchester carry chain of paper Fig. 2:
+// per bit slice, a propagate NMOS (gate Pᵢ) in series along the carry rail,
+// a generate NMOS (gate Gᵢ) pulling the slice's carry node low, and a
+// clocked precharge PMOS (gate φ) restoring it to VDD. The carry-in
+// evaluation device sits at the bottom.
+//
+// The returned workload is the evaluation-phase worst case the paper takes
+// its 6-NMOS stack from: all carry nodes precharged, every propagate input
+// high, every generate input low, φ high (prechargers off), and the
+// carry-in rising as a step at t = 0 — the carry then ripples through the
+// whole propagate chain. For bits = 5 the discharge path is exactly the
+// paper's 6-transistor stack (carry-in device + 5 propagate devices).
+func ManchesterChain(tech *mos.Tech, bits int, wn, wp, cl, at float64) (*Workload, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("stages: carry chain needs at least 1 bit")
+	}
+	n := &circuit.Netlist{}
+	sw := wave.Step{At: at, Low: 0, High: tech.VDD}
+	n.AddVSource("vvdd", "vdd", "0", wave.DC(tech.VDD))
+	n.AddVSource("vcin", "cin", "0", sw)
+	n.AddVSource("vphi", "phi", "0", wave.DC(tech.VDD)) // evaluation phase
+	inputs := map[string]wave.Waveform{
+		"cin": sw,
+		"phi": wave.DC(tech.VDD),
+	}
+	ic := map[string]float64{}
+
+	// Carry-in evaluation device discharges c0.
+	n.AddTransistor(&circuit.Transistor{
+		Name: "min", Kind: circuit.KindNMOS,
+		Drain: "c0", Gate: "cin", Source: "0", Body: "0",
+		W: wn, L: tech.LMin,
+	})
+	ic["c0"] = tech.VDD
+	n.AddTransistor(&circuit.Transistor{
+		Name: "mpre0", Kind: circuit.KindPMOS,
+		Drain: "c0", Gate: "phi", Source: "vdd", Body: "vdd",
+		W: wp, L: tech.LMin,
+	})
+
+	prev := "c0"
+	for i := 1; i <= bits; i++ {
+		c := fmt.Sprintf("c%d", i)
+		p := fmt.Sprintf("p%d", i)
+		g := fmt.Sprintf("g%d", i)
+		n.AddVSource("v"+p, p, "0", wave.DC(tech.VDD))
+		n.AddVSource("v"+g, g, "0", wave.DC(0))
+		inputs[p] = wave.DC(tech.VDD)
+		inputs[g] = wave.DC(0)
+
+		// Propagate device along the carry rail.
+		n.AddTransistor(&circuit.Transistor{
+			Name: "mp" + p, Kind: circuit.KindNMOS,
+			Drain: c, Gate: p, Source: prev, Body: "0",
+			W: wn, L: tech.LMin,
+		})
+		// Generate device pulling the slice node low (off in this scenario).
+		n.AddTransistor(&circuit.Transistor{
+			Name: "mg" + g, Kind: circuit.KindNMOS,
+			Drain: c, Gate: g, Source: "0", Body: "0",
+			W: wn, L: tech.LMin,
+		})
+		// Clocked precharge.
+		n.AddTransistor(&circuit.Transistor{
+			Name: fmt.Sprintf("mpre%d", i), Kind: circuit.KindPMOS,
+			Drain: c, Gate: "phi", Source: "vdd", Body: "vdd",
+			W: wp, L: tech.LMin,
+		})
+		ic[c] = tech.VDD
+		prev = c
+	}
+	out := prev
+	n.AddCapacitor("cl", out, "0", cl)
+
+	w := &Workload{
+		Name:     fmt.Sprintf("manchester%d", bits),
+		Netlist:  n,
+		Output:   out,
+		Rail:     circuit.GroundNode,
+		Inputs:   inputs,
+		SwitchAt: at,
+		Loads:    map[string]float64{out: cl},
+		IC:       ic,
+		TStop:    float64(bits+1) * 0.6e-9,
+	}
+	return w, w.finish()
+}
+
+// PassGateStage builds the paper's Fig. 1 example: a NAND2 whose output is
+// channel-connected through a pass transistor to the observed node W1 — a
+// design cell that "does not map naturally to a logic stage" and must be
+// analyzed as one dynamically formed stage. Worst case: the NAND pull-down
+// fires (both inputs high, bottom switching) with the pass gate enabled, so
+// W1 discharges through three series NMOS devices.
+func PassGateStage(tech *mos.Tech, wn, wp, cl, at float64) (*Workload, error) {
+	n := &circuit.Netlist{}
+	sw := wave.Step{At: at, Low: 0, High: tech.VDD}
+	n.AddVSource("vvdd", "vdd", "0", wave.DC(tech.VDD))
+	n.AddVSource("va", "a", "0", sw)
+	n.AddVSource("vb", "b", "0", wave.DC(tech.VDD))
+	n.AddVSource("ven", "en", "0", wave.DC(tech.VDD))
+	inputs := map[string]wave.Waveform{
+		"a": sw, "b": wave.DC(tech.VDD), "en": wave.DC(tech.VDD),
+	}
+	// NAND2 (a, b) -> nout.
+	n.AddTransistor(&circuit.Transistor{Name: "mn1", Kind: circuit.KindNMOS, Drain: "t1", Gate: "a", Source: "0", Body: "0", W: wn, L: tech.LMin})
+	n.AddTransistor(&circuit.Transistor{Name: "mn2", Kind: circuit.KindNMOS, Drain: "nout", Gate: "b", Source: "t1", Body: "0", W: wn, L: tech.LMin})
+	n.AddTransistor(&circuit.Transistor{Name: "mpa", Kind: circuit.KindPMOS, Drain: "nout", Gate: "a", Source: "vdd", Body: "vdd", W: wp, L: tech.LMin})
+	n.AddTransistor(&circuit.Transistor{Name: "mpb", Kind: circuit.KindPMOS, Drain: "nout", Gate: "b", Source: "vdd", Body: "vdd", W: wp, L: tech.LMin})
+	// Pass transistor M1 to the wire node W1 (paper Fig. 1).
+	n.AddTransistor(&circuit.Transistor{Name: "mpass", Kind: circuit.KindNMOS, Drain: "w1", Gate: "en", Source: "nout", Body: "0", W: wn, L: tech.LMin})
+	n.AddCapacitor("cl", "w1", "0", cl)
+
+	w := &Workload{
+		Name:     "passgate",
+		Netlist:  n,
+		Output:   "w1",
+		Rail:     circuit.GroundNode,
+		Inputs:   inputs,
+		SwitchAt: at,
+		Loads:    map[string]float64{"w1": cl},
+		IC:       map[string]float64{"t1": tech.VDD, "nout": tech.VDD, "w1": tech.VDD},
+		TStop:    3e-9,
+	}
+	return w, w.finish()
+}

@@ -1,0 +1,232 @@
+package stages
+
+import (
+	"fmt"
+	"testing"
+
+	"qwm/internal/circuit"
+	"qwm/internal/mos"
+)
+
+var tech = mos.CMOSP35()
+
+func TestInverterWorkload(t *testing.T) {
+	w, err := Inverter(tech, 1e-6, 2e-6, 10e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path.Transistors() != 1 {
+		t.Errorf("K = %d", w.Path.Transistors())
+	}
+	if w.Stage == nil || len(w.Stage.Edges) != 2 {
+		t.Errorf("stage edges = %d", len(w.Stage.Edges))
+	}
+	if w.IC["out"] != tech.VDD {
+		t.Error("output not precharged")
+	}
+}
+
+func TestNANDWorkload(t *testing.T) {
+	w, err := NAND(tech, 4, 1e-6, 2e-6, 10e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path.Transistors() != 4 {
+		t.Errorf("pull-down K = %d, want 4", w.Path.Transistors())
+	}
+	if len(w.Stage.Edges) != 8 {
+		t.Errorf("stage edges = %d, want 8", len(w.Stage.Edges))
+	}
+	// All internal nodes precharged.
+	for _, nd := range w.Path.InternalNodes() {
+		if w.IC[nd] != tech.VDD {
+			t.Errorf("node %s not precharged", nd)
+		}
+	}
+	if _, err := NAND(tech, 1, 1e-6, 2e-6, 1e-15, 0); err == nil {
+		t.Error("1-input NAND accepted")
+	}
+}
+
+func TestStackWorkload(t *testing.T) {
+	w, err := Stack(tech, []float64{1e-6, 2e-6, 3e-6}, 10e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path.Transistors() != 3 {
+		t.Errorf("K = %d", w.Path.Transistors())
+	}
+	// Path order: bottom (in0) first.
+	if w.Path.Elems[0].Edge.Gate != "in0" {
+		t.Errorf("bottom gate = %s", w.Path.Elems[0].Edge.Gate)
+	}
+	if w.Path.Elems[0].Edge.W != 1e-6 || w.Path.Elems[2].Edge.W != 3e-6 {
+		t.Error("widths not in rail-to-output order")
+	}
+	if _, err := Stack(tech, nil, 1e-15, 0); err == nil {
+		t.Error("empty stack accepted")
+	}
+}
+
+func TestRandomStackDeterministic(t *testing.T) {
+	a, err := RandomStack(tech, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomStack(tech, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Path.Elems {
+		if a.Path.Elems[i].Edge.W != b.Path.Elems[i].Edge.W {
+			t.Fatal("same seed produced different widths")
+		}
+	}
+	c, err := RandomStack(tech, 6, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Path.Elems {
+		if a.Path.Elems[i].Edge.W != c.Path.Elems[i].Edge.W {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical widths")
+	}
+}
+
+func TestCarryChainStack(t *testing.T) {
+	w, err := CarryChainStack(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path.Transistors() != 6 {
+		t.Errorf("K = %d, want 6", w.Path.Transistors())
+	}
+}
+
+func TestDecoderTreeWorkload(t *testing.T) {
+	w, err := DecoderTree(tech, 3, 2e-6, 50e-6, 20e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 transistors + 3 wire resistors on the path.
+	if w.Path.Transistors() != 3 {
+		t.Errorf("K = %d, want 3", w.Path.Transistors())
+	}
+	wires := 0
+	for _, pe := range w.Path.Elems {
+		if pe.Edge.Kind == circuit.KindWire {
+			wires++
+		}
+	}
+	if wires != 3 {
+		t.Errorf("wires on path = %d, want 3", wires)
+	}
+	// Wire resistances double with level.
+	var rs []float64
+	for _, pe := range w.Path.Elems {
+		if pe.Edge.Kind == circuit.KindWire {
+			rs = append(rs, pe.Edge.R)
+		}
+	}
+	if !(rs[1] > 1.9*rs[0] && rs[2] > 1.9*rs[1]) {
+		t.Errorf("wire resistances do not double: %v", rs)
+	}
+	if _, err := DecoderTree(tech, 1, 2e-6, 50e-6, 1e-15, 0); err == nil {
+		t.Error("single-level decoder accepted")
+	}
+}
+
+func TestWorkloadNetlistsValid(t *testing.T) {
+	mk := []func() (*Workload, error){
+		func() (*Workload, error) { return Inverter(tech, 1e-6, 2e-6, 1e-15, 0) },
+		func() (*Workload, error) { return NAND(tech, 3, 1e-6, 2e-6, 1e-15, 0) },
+		func() (*Workload, error) { return RandomStack(tech, 8, 7) },
+		func() (*Workload, error) { return DecoderTree(tech, 4, 2e-6, 40e-6, 10e-15, 0) },
+	}
+	for i, f := range mk {
+		w, err := f()
+		if err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+		if err := w.Netlist.Validate(); err != nil {
+			t.Errorf("workload %d invalid: %v", i, err)
+		}
+		// Every path transistor's gate has an input waveform.
+		for _, pe := range w.Path.Elems {
+			if pe.Edge.Kind == circuit.KindWire {
+				continue
+			}
+			if _, ok := w.Inputs[pe.Edge.Gate]; !ok {
+				t.Errorf("workload %d: gate %s has no input", i, pe.Edge.Gate)
+			}
+		}
+	}
+}
+
+func TestManchesterChainStructure(t *testing.T) {
+	w, err := ManchesterChain(tech, 5, 2e-6, 2e-6, 12e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 6-NMOS stack: carry-in device + 5 propagate devices.
+	if w.Path.Transistors() != 6 {
+		t.Errorf("worst path K = %d, want 6", w.Path.Transistors())
+	}
+	// One merged stage: all bit slices are channel-connected.
+	if got := len(w.Stage.Edges); got != 1+1+5*3 { // min + pre0 + (prop+gen+pre)×5
+		t.Errorf("stage edges = %d, want 17", got)
+	}
+	// All carry nodes precharged.
+	for i := 0; i <= 5; i++ {
+		if w.IC[fmt.Sprintf("c%d", i)] != tech.VDD {
+			t.Errorf("c%d not precharged", i)
+		}
+	}
+	if _, err := ManchesterChain(tech, 0, 1e-6, 1e-6, 1e-15, 0); err == nil {
+		t.Error("0-bit chain accepted")
+	}
+}
+
+func TestPassGateStageStructure(t *testing.T) {
+	w, err := PassGateStage(tech, 1e-6, 2e-6, 10e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAND pull-down (2) + pass transistor (1).
+	if w.Path.Transistors() != 3 {
+		t.Errorf("K = %d, want 3", w.Path.Transistors())
+	}
+	// The NAND and the pass transistor form ONE stage (paper Example 1).
+	if len(w.Stage.Edges) != 5 {
+		t.Errorf("stage edges = %d, want 5", len(w.Stage.Edges))
+	}
+}
+
+func TestDecoderTreeWithBranchesStructure(t *testing.T) {
+	w, err := DecoderTreeWithBranches(tech, 3, 2e-6, 50e-6, 20e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst path is unchanged by the branches.
+	if w.Path.Transistors() != 3 {
+		t.Errorf("K = %d, want 3", w.Path.Transistors())
+	}
+	// Off branch devices joined the stage (channel-connected through wires).
+	if len(w.Stage.Edges) < 9 { // 3 path FETs + 3 path wires + 3 branch wires (+3 branch FETs)
+		t.Errorf("stage edges = %d, want ≥ 9", len(w.Stage.Edges))
+	}
+	// Junction loads exceed the bare tree's.
+	bare, err := DecoderTree(tech, 3, 2e-6, 50e-6, 20e-15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range []string{"x2", "x4"} {
+		if w.Loads[nd] <= bare.Loads[nd] {
+			t.Errorf("node %s load %g not above bare %g", nd, w.Loads[nd], bare.Loads[nd])
+		}
+	}
+}

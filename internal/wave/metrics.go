@@ -1,0 +1,65 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+)
+
+// Crosser is a waveform that can locate its own threshold crossings
+// analytically; PWL and PWQ both implement it.
+type Crosser interface {
+	Waveform
+	Crossing(level float64, rising bool) (float64, bool)
+}
+
+// Delay50 returns the 50 % propagation delay of an output transition
+// relative to an input switching instant tIn: the time from tIn to the
+// output's crossing of vdd/2 in the given direction.
+func Delay50(out Crosser, tIn, vdd float64, rising bool) (float64, error) {
+	tc, ok := out.Crossing(vdd/2, rising)
+	if !ok {
+		return 0, fmt.Errorf("wave: output never crosses 50%% of %g V", vdd)
+	}
+	return tc - tIn, nil
+}
+
+// Slew returns the 10 %–90 % transition time of a waveform in the given
+// direction (for falling transitions, 90 % down to 10 %).
+func Slew(w Crosser, vdd float64, rising bool) (float64, error) {
+	lo, hi := 0.1*vdd, 0.9*vdd
+	var t1, t2 float64
+	var ok1, ok2 bool
+	if rising {
+		t1, ok1 = w.Crossing(lo, true)
+		t2, ok2 = w.Crossing(hi, true)
+	} else {
+		t1, ok1 = w.Crossing(hi, false)
+		t2, ok2 = w.Crossing(lo, false)
+	}
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("wave: waveform does not complete a 10–90%% transition")
+	}
+	return t2 - t1, nil
+}
+
+// DelayErrorPct returns the paper's accuracy metric: the relative delay
+// error |got − ref| / ref in percent.
+func DelayErrorPct(got, ref float64) float64 {
+	if ref == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * math.Abs(got-ref) / math.Abs(ref)
+}
+
+// AccuracyPct is 100 − DelayErrorPct, floored at zero — the form the paper
+// quotes ("maintaining an average accuracy of 99%").
+func AccuracyPct(got, ref float64) float64 {
+	a := 100 - DelayErrorPct(got, ref)
+	if a < 0 {
+		return 0
+	}
+	return a
+}

@@ -1,0 +1,204 @@
+// Package wave provides the waveform types shared by every engine in this
+// repository: piecewise-linear waveforms (SPICE outputs and sources),
+// piecewise-quadratic waveforms (QWM outputs), and the timing metrics —
+// threshold crossings, 50 % propagation delay, 10–90 % slew, RMS deviation —
+// that the paper's tables are built from.
+package wave
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Waveform is a voltage as a function of time. Implementations extrapolate
+// by holding their first/last value outside the defined span.
+type Waveform interface {
+	Eval(t float64) float64
+	// Span returns the time interval over which the waveform is defined.
+	Span() (t0, t1 float64)
+}
+
+// Step is an ideal step source: V = Low for t < At, High for t ≥ At.
+type Step struct {
+	At        float64
+	Low, High float64
+}
+
+// Eval implements Waveform.
+func (s Step) Eval(t float64) float64 {
+	if t < s.At {
+		return s.Low
+	}
+	return s.High
+}
+
+// Span implements Waveform.
+func (s Step) Span() (float64, float64) { return s.At, s.At }
+
+// Crossing implements Crosser: a step crosses any level strictly between its
+// rails exactly at its switching instant.
+func (s Step) Crossing(level float64, rising bool) (float64, bool) {
+	if rising && s.Low < level && s.High >= level {
+		return s.At, true
+	}
+	if !rising && s.Low > level && s.High <= level {
+		return s.At, true
+	}
+	return 0, false
+}
+
+// Ramp is a saturated linear ramp from Low (before T0) to High (after T1).
+type Ramp struct {
+	T0, T1    float64
+	Low, High float64
+}
+
+// Eval implements Waveform.
+func (r Ramp) Eval(t float64) float64 {
+	switch {
+	case t <= r.T0:
+		return r.Low
+	case t >= r.T1:
+		return r.High
+	}
+	return r.Low + (r.High-r.Low)*(t-r.T0)/(r.T1-r.T0)
+}
+
+// Span implements Waveform.
+func (r Ramp) Span() (float64, float64) { return r.T0, r.T1 }
+
+// Crossing implements Crosser by inverting the ramp.
+func (r Ramp) Crossing(level float64, rising bool) (float64, bool) {
+	up := r.High > r.Low
+	if rising != up {
+		return 0, false
+	}
+	frac := (level - r.Low) / (r.High - r.Low)
+	if frac < 0 || frac > 1 {
+		return 0, false
+	}
+	return r.T0 + frac*(r.T1-r.T0), true
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// Eval implements Waveform.
+func (d DC) Eval(float64) float64 { return float64(d) }
+
+// Span implements Waveform.
+func (d DC) Span() (float64, float64) { return 0, 0 }
+
+// PWL is a piecewise-linear waveform through sample points with strictly
+// increasing times.
+type PWL struct {
+	T []float64
+	V []float64
+}
+
+// NewPWL builds a PWL after validating monotone time and equal lengths.
+func NewPWL(t, v []float64) (*PWL, error) {
+	if len(t) != len(v) {
+		return nil, fmt.Errorf("wave: PWL length mismatch (%d times, %d values)", len(t), len(v))
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("wave: empty PWL")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return nil, fmt.Errorf("wave: PWL times not strictly increasing at index %d", i)
+		}
+	}
+	return &PWL{T: t, V: v}, nil
+}
+
+// Append adds a sample, which must be later than the current last one.
+func (p *PWL) Append(t, v float64) {
+	if n := len(p.T); n > 0 && t <= p.T[n-1] {
+		panic("wave: PWL append out of order")
+	}
+	p.T = append(p.T, t)
+	p.V = append(p.V, v)
+}
+
+// Eval implements Waveform with linear interpolation and flat extrapolation.
+func (p *PWL) Eval(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	// p.T[i-1] < t <= p.T[i]
+	t0, t1 := p.T[i-1], p.T[i]
+	v0, v1 := p.V[i-1], p.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Span implements Waveform.
+func (p *PWL) Span() (float64, float64) {
+	if len(p.T) == 0 {
+		return 0, 0
+	}
+	return p.T[0], p.T[len(p.T)-1]
+}
+
+// Crossing returns the earliest time at which the waveform crosses level in
+// the given direction (rising: from below to at-or-above). ok is false when
+// no crossing exists.
+func (p *PWL) Crossing(level float64, rising bool) (t float64, ok bool) {
+	for i := 1; i < len(p.T); i++ {
+		v0, v1 := p.V[i-1], p.V[i]
+		var hit bool
+		if rising {
+			hit = v0 < level && v1 >= level
+		} else {
+			hit = v0 > level && v1 <= level
+		}
+		if !hit {
+			continue
+		}
+		if v1 == v0 {
+			return p.T[i], true
+		}
+		frac := (level - v0) / (v1 - v0)
+		return p.T[i-1] + frac*(p.T[i]-p.T[i-1]), true
+	}
+	return 0, false
+}
+
+// Sample evaluates any waveform on a uniform grid, producing a PWL.
+func Sample(w Waveform, t0, t1 float64, n int) *PWL {
+	if n < 2 {
+		n = 2
+	}
+	p := &PWL{T: make([]float64, 0, n), V: make([]float64, 0, n)}
+	dt := (t1 - t0) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		p.Append(t, w.Eval(t))
+	}
+	return p
+}
+
+// RMSDiff returns the root-mean-square difference between two waveforms
+// sampled at n uniform points over [t0, t1].
+func RMSDiff(a, b Waveform, t0, t1 float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	dt := (t1 - t0) / float64(n-1)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		d := a.Eval(t) - b.Eval(t)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}

@@ -1,0 +1,181 @@
+package wave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestStepAndRamp(t *testing.T) {
+	s := Step{At: 1, Low: 0, High: 3.3}
+	if s.Eval(0.5) != 0 || s.Eval(1) != 3.3 || s.Eval(2) != 3.3 {
+		t.Error("step evaluation wrong")
+	}
+	r := Ramp{T0: 0, T1: 2, Low: 0, High: 2}
+	if r.Eval(-1) != 0 || r.Eval(1) != 1 || r.Eval(3) != 2 {
+		t.Error("ramp evaluation wrong")
+	}
+	if DC(1.5).Eval(42) != 1.5 {
+		t.Error("dc evaluation wrong")
+	}
+}
+
+func TestStepCrossing(t *testing.T) {
+	s := Step{At: 2, Low: 0, High: 3.3}
+	if tc, ok := s.Crossing(1.65, true); !ok || tc != 2 {
+		t.Errorf("rising crossing = %g, %v", tc, ok)
+	}
+	if _, ok := s.Crossing(1.65, false); ok {
+		t.Error("falling crossing on a rising step")
+	}
+	if _, ok := s.Crossing(5, true); ok {
+		t.Error("crossing above the step range")
+	}
+	down := Step{At: 1, Low: 3.3, High: 0}
+	if tc, ok := down.Crossing(1.0, false); !ok || tc != 1 {
+		t.Errorf("falling step crossing = %g, %v", tc, ok)
+	}
+}
+
+func TestRampCrossing(t *testing.T) {
+	r := Ramp{T0: 0, T1: 2, Low: 0, High: 4}
+	if tc, ok := r.Crossing(1, true); !ok || !feq(tc, 0.5, 1e-12) {
+		t.Errorf("ramp crossing = %g, %v", tc, ok)
+	}
+	if _, ok := r.Crossing(1, false); ok {
+		t.Error("falling crossing on a rising ramp")
+	}
+	if _, ok := r.Crossing(9, true); ok {
+		t.Error("crossing outside the ramp range")
+	}
+}
+
+func TestNewPWLValidation(t *testing.T) {
+	if _, err := NewPWL([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch not caught")
+	}
+	if _, err := NewPWL(nil, nil); err == nil {
+		t.Error("empty PWL not caught")
+	}
+	if _, err := NewPWL([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times not caught")
+	}
+	if _, err := NewPWL([]float64{0, 1}, []float64{1, 2}); err != nil {
+		t.Errorf("valid PWL rejected: %v", err)
+	}
+}
+
+func TestPWLEvalInterpolation(t *testing.T) {
+	p, _ := NewPWL([]float64{0, 1, 2}, []float64{0, 2, 0})
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 1}, {1, 2}, {1.25, 1.5}, {2, 0}, {3, 0},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.t); !feq(got, c.want, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPWLCrossing(t *testing.T) {
+	p, _ := NewPWL([]float64{0, 1, 2}, []float64{0, 2, 0})
+	if tc, ok := p.Crossing(1, true); !ok || !feq(tc, 0.5, 1e-12) {
+		t.Errorf("rising crossing = %g, %v", tc, ok)
+	}
+	if tc, ok := p.Crossing(1, false); !ok || !feq(tc, 1.5, 1e-12) {
+		t.Errorf("falling crossing = %g, %v", tc, ok)
+	}
+	if _, ok := p.Crossing(5, true); ok {
+		t.Error("crossing above range should not exist")
+	}
+}
+
+func TestPWLAppendOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order append should panic")
+		}
+	}()
+	p := &PWL{}
+	p.Append(1, 0)
+	p.Append(0.5, 0)
+}
+
+func TestSampleAndRMSDiff(t *testing.T) {
+	r := Ramp{T0: 0, T1: 1, Low: 0, High: 1}
+	p := Sample(r, 0, 1, 101)
+	if len(p.T) != 101 {
+		t.Fatalf("sample count %d", len(p.T))
+	}
+	if d := RMSDiff(r, p, 0, 1, 57); d > 1e-12 {
+		t.Errorf("PWL resample of a ramp should be exact, rms = %g", d)
+	}
+	if d := RMSDiff(DC(0), DC(2), 0, 1, 10); !feq(d, 2, 1e-12) {
+		t.Errorf("rms of constant offset = %g, want 2", d)
+	}
+}
+
+// Property: PWL.Eval at its own sample points returns the sample values.
+func TestPWLEvalAtKnotsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		ts := make([]float64, n)
+		vs := make([]float64, n)
+		acc := 0.0
+		for i := range ts {
+			acc += 0.01 + r.Float64()
+			ts[i] = acc
+			vs[i] = r.NormFloat64()
+		}
+		p, err := NewPWL(ts, vs)
+		if err != nil {
+			return false
+		}
+		for i := range ts {
+			if !feq(p.Eval(ts[i]), vs[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a crossing reported by PWL.Crossing actually evaluates to the
+// level (within interpolation tolerance).
+func TestPWLCrossingConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(10)
+		ts := make([]float64, n)
+		vs := make([]float64, n)
+		acc := 0.0
+		for i := range ts {
+			acc += 0.1 + r.Float64()
+			ts[i] = acc
+			vs[i] = 3.3 * r.Float64()
+		}
+		p, err := NewPWL(ts, vs)
+		if err != nil {
+			return false
+		}
+		level := 3.3 * r.Float64()
+		for _, rising := range []bool{true, false} {
+			if tc, ok := p.Crossing(level, rising); ok {
+				if !feq(p.Eval(tc), level, 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
