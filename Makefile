@@ -1,0 +1,32 @@
+# CI entry points for the qwm repository. `make ci` is the gate a change
+# must pass: vet, build, the full test suite under the race detector, and
+# a smoke run of the STA-parallel and solver-kernel benchmarks.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-full
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector covers the concurrent layers (sta worker pool, mc
+# samplers, qwm scratch pool) along with everything else.
+race:
+	$(GO) test -race ./...
+
+# One-iteration smoke of the perf-critical benchmarks: the parallel STA
+# engine at every worker width and the in-place linear-solver kernels.
+bench:
+	$(GO) test -run '^$$' -bench 'STAParallel|SolverKernels' -benchtime 1x -benchmem .
+
+# Full benchmark sweep (regenerates every table/figure; slow).
+bench-full:
+	$(GO) test -run '^$$' -bench . -benchmem .

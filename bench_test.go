@@ -7,6 +7,7 @@ package qwm_test
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"qwm/internal/mos"
 	"qwm/internal/qwm"
 	"qwm/internal/sc"
+	"qwm/internal/sta"
 	"qwm/internal/stages"
 )
 
@@ -313,6 +315,53 @@ func BenchmarkAblationSCvsQWM(b *testing.B) {
 	})
 }
 
+// --- Parallel STA (full-flow benchmark) ---
+
+// BenchmarkSTAParallel measures the levelized STA engine over a 4-bit row
+// decoder (4 address inverters, 16 four-input NANDs, 16 row drivers) at
+// several worker-pool widths. Every iteration uses a fresh Analyzer, so the
+// delay cache is cold and each of the 36 stages is QWM-evaluated in both
+// directions — the worst case the parallel engine is built for. The serial
+// (workers=1) run is the baseline; identical results at every width are
+// asserted before timing starts.
+func BenchmarkSTAParallel(b *testing.B) {
+	tech := mos.CMOSP35()
+	lib := devmodel.NewLibrary(tech)
+	nl, ins, outs, err := stages.DecoderNetlist(tech, 4, 1e-6, 10e-15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	primary := map[string]sta.Arrival{}
+	for i, in := range ins {
+		primary[in] = sta.Arrival{
+			Rise: float64(i) * 17e-12, Fall: float64(i) * 13e-12,
+			RiseSlew: 20e-12 + float64(i)*7e-12, FallSlew: 15e-12 + float64(i)*5e-12,
+		}
+	}
+	analyze := func(workers int) *sta.Result {
+		a := sta.New(tech, lib)
+		a.Workers = workers
+		res, err := a.Analyze(nl, primary, outs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	ref := analyze(1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			if got := analyze(workers); !reflect.DeepEqual(got.Arrivals, ref.Arrivals) ||
+				got.WorstArrival != ref.WorstArrival {
+				b.Fatalf("workers=%d results differ from serial baseline", workers)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				analyze(workers)
+			}
+		})
+	}
+}
+
 // One-time characterization cost (excluded from the runtime comparisons, as
 // in the paper's §V-B fairness note).
 func BenchmarkCharacterize(b *testing.B) {
@@ -352,6 +401,19 @@ func BenchmarkSolverKernels(b *testing.B) {
 			}
 		}
 	})
+	b.Run("shermanMorrisonInto", func(b *testing.B) {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		cp := make([]float64, n-1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tri.SolveRankOneInto(u, v, rhs, x, y, z, cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("denseLU", func(b *testing.B) {
 		dense := tri.Dense()
 		for i := 0; i < n; i++ {
@@ -359,6 +421,22 @@ func BenchmarkSolverKernels(b *testing.B) {
 		}
 		for i := 0; i < b.N; i++ {
 			if _, err := la.SolveDense(dense, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("denseLUInto", func(b *testing.B) {
+		dense := tri.Dense()
+		for i := 0; i < n; i++ {
+			dense.Add(i, n-1, u[i])
+		}
+		x := make([]float64, n)
+		lu := la.NewMatrix(n, n)
+		piv := make([]int, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := la.SolveDenseInto(dense, rhs, x, lu, piv); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -6,6 +6,12 @@
 //
 //	sta -deck chain.sp -inputs a0,b0 -outputs out
 //	sta -deck chain.sp -inputs 'a0,b0@150p' -outputs out   # b0 arrives late
+//	sta -deck decoder.sp -outputs y0,y1 -workers 8 -cache-stats
+//
+// Stage evaluation is parallel: -workers sets the per-level worker-pool
+// size (0 = GOMAXPROCS, 1 = serial); results are identical for any value.
+// -cache-stats prints the sharded delay cache's hit/miss/evaluation
+// counters after the run.
 package main
 
 import (
@@ -27,15 +33,17 @@ func main() {
 		inputs   = flag.String("inputs", "", "comma-separated primary inputs, each optionally net@arrival (e.g. a,b@100p)")
 		outputs  = flag.String("outputs", "out", "comma-separated primary outputs")
 		verbose  = flag.Bool("v", false, "print the arrival of every net")
+		workers  = flag.Int("workers", 0, "stage evaluations in flight per level (0 = GOMAXPROCS, 1 = serial)")
+		stats    = flag.Bool("cache-stats", false, "print delay-cache hit/miss/evaluation counters")
 	)
 	flag.Parse()
-	if err := run(*deckPath, *inputs, *outputs, *verbose); err != nil {
+	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "sta:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deckPath, inputs, outputs string, verbose bool) error {
+func run(deckPath, inputs, outputs string, verbose bool, workers int, stats bool) error {
 	in := os.Stdin
 	if deckPath != "" {
 		f, err := os.Open(deckPath)
@@ -73,6 +81,7 @@ func run(deckPath, inputs, outputs string, verbose bool) error {
 
 	tech := mos.CMOSP35()
 	a := sta.New(tech, devmodel.NewLibrary(tech))
+	a.Workers = workers
 	res, err := a.Analyze(deck.Netlist, primary, outs)
 	if err != nil {
 		return err
@@ -81,6 +90,11 @@ func run(deckPath, inputs, outputs string, verbose bool) error {
 	fmt.Printf("stage evaluations: %d\n", res.StagesEvaluated)
 	fmt.Printf("worst arrival: %.4g s at %q\n", res.WorstArrival, res.WorstOutput)
 	fmt.Printf("critical path (latest first): %s\n", strings.Join(res.CriticalPath, " <- "))
+	if stats {
+		cs := a.CacheStats()
+		fmt.Printf("delay cache: %d hits, %d misses, %d evaluations, %d entries\n",
+			cs.Hits, cs.Misses, cs.Evaluations, cs.Entries)
+	}
 	if verbose {
 		nets := make([]string, 0, len(res.Arrivals))
 		for n := range res.Arrivals {

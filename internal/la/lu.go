@@ -25,9 +25,18 @@ func FactorLU(a *Matrix) (*LU, error) {
 	}
 	n := a.Rows
 	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
-	lu := f.lu
-	for i := range f.piv {
-		f.piv[i] = i
+	if err := factorInPlace(f.lu, f.piv, &f.sign); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// factorInPlace runs Gaussian elimination with partial pivoting directly on
+// lu's storage, recording the row permutation in piv and its parity in sign.
+func factorInPlace(lu *Matrix, piv []int, sign *int) error {
+	n := lu.Rows
+	for i := range piv {
+		piv[i] = i
 	}
 	for k := 0; k < n; k++ {
 		// Partial pivoting: pick the largest magnitude in column k.
@@ -38,7 +47,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk := lu.Data[k*n : (k+1)*n]
@@ -46,8 +55,8 @@ func FactorLU(a *Matrix) (*LU, error) {
 			for j := 0; j < n; j++ {
 				rk[j], rp[j] = rp[j], rk[j]
 			}
-			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
-			f.sign = -f.sign
+			piv[k], piv[p] = piv[p], piv[k]
+			*sign = -*sign
 		}
 		pivot := lu.At(k, k)
 		for i := k + 1; i < n; i++ {
@@ -63,7 +72,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b using the factorization. b is not modified.
@@ -73,13 +82,22 @@ func (f *LU) Solve(b []float64) []float64 {
 		panic("la: LU.Solve dimension mismatch")
 	}
 	x := make([]float64, n)
+	luSolveInto(f.lu, f.piv, b, x)
+	return x
+}
+
+// luSolveInto performs the permuted forward/back substitution of a factored
+// system into a caller-owned vector. x must not alias b (the permutation step
+// reads b out of order).
+func luSolveInto(lu *Matrix, piv []int, b, x []float64) {
+	n := lu.Rows
 	// Apply permutation, then forward substitution with unit L.
 	for i := 0; i < n; i++ {
-		x[i] = b[f.piv[i]]
+		x[i] = b[piv[i]]
 	}
 	for i := 1; i < n; i++ {
 		s := x[i]
-		row := f.lu.Data[i*n : (i+1)*n]
+		row := lu.Data[i*n : (i+1)*n]
 		for j := 0; j < i; j++ {
 			s -= row[j] * x[j]
 		}
@@ -88,13 +106,12 @@ func (f *LU) Solve(b []float64) []float64 {
 	// Back substitution with U.
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
-		row := f.lu.Data[i*n : (i+1)*n]
+		row := lu.Data[i*n : (i+1)*n]
 		for j := i + 1; j < n; j++ {
 			s -= row[j] * x[j]
 		}
 		x[i] = s / row[i]
 	}
-	return x
 }
 
 // Det returns the determinant of the factored matrix.
@@ -113,4 +130,25 @@ func SolveDense(a *Matrix, b []float64) ([]float64, error) {
 		return nil, err
 	}
 	return f.Solve(b), nil
+}
+
+// SolveDenseInto is the allocation-free variant of SolveDense for hot paths
+// that own their scratch: it copies a into lu, factors in place and writes the
+// solution into x. lu must be n×n, piv length n; x must not alias b. a is not
+// modified.
+func SolveDenseInto(a *Matrix, b, x []float64, lu *Matrix, piv []int) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("la: SolveDenseInto requires a square matrix")
+	}
+	if lu.Rows != n || lu.Cols != n || len(piv) != n || len(b) != n || len(x) != n {
+		panic("la: SolveDenseInto dimension mismatch")
+	}
+	copy(lu.Data, a.Data)
+	sign := 1
+	if err := factorInPlace(lu, piv, &sign); err != nil {
+		return err
+	}
+	luSolveInto(lu, piv, b, x)
+	return nil
 }

@@ -166,3 +166,65 @@ func TestVecNorms(t *testing.T) {
 		t.Errorf("Dot = %g, want -1", Dot(v, []float64{1, 1}))
 	}
 }
+
+func TestSolveDenseIntoMatchesSolveDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 8; n++ {
+		a := NewMatrix(n, n)
+		b := make([]float64, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := make([]float64, n)
+		lu := NewMatrix(n, n)
+		piv := make([]int, n)
+		if err := SolveDenseInto(a, b, x, lu, piv); err != nil {
+			t.Fatalf("n=%d: SolveDenseInto: %v", n, err)
+		}
+		for i := range want {
+			if !almostEq(x[i], want[i], 1e-12) {
+				t.Errorf("n=%d: x[%d] = %g, want %g", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveDenseIntoSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	x := make([]float64, 2)
+	lu := NewMatrix(2, 2)
+	if err := SolveDenseInto(a, []float64{1, 1}, x, lu, make([]int, 2)); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDenseIntoZeroAllocs(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(11))
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	lu := NewMatrix(n, n)
+	piv := make([]int, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := SolveDenseInto(a, b, x, lu, piv); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SolveDenseInto allocated %.2f times per run, want 0", allocs)
+	}
+}

@@ -28,6 +28,21 @@ func (t *Tridiag) N() int { return len(t.Diag) }
 func (t *Tridiag) Dense() *Matrix {
 	n := t.N()
 	m := NewMatrix(n, n)
+	t.DenseInto(m)
+	return m
+}
+
+// DenseInto writes the dense expansion of the tridiagonal matrix into a
+// caller-owned n×n matrix, zeroing entries off the three bands. It is the
+// allocation-free core of Dense.
+func (t *Tridiag) DenseInto(m *Matrix) {
+	n := t.N()
+	if m.Rows != n || m.Cols != n {
+		panic("la: Tridiag.DenseInto dimension mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		m.Set(i, i, t.Diag[i])
 		if i > 0 {
@@ -37,7 +52,6 @@ func (t *Tridiag) Dense() *Matrix {
 			m.Set(i, i+1, t.Sup[i])
 		}
 	}
-	return m
 }
 
 // MulVec computes y = T·x.
@@ -68,13 +82,28 @@ func (t *Tridiag) Solve(b []float64) ([]float64, error) {
 	if len(b) != n {
 		panic("la: Tridiag.Solve dimension mismatch")
 	}
-	cp := make([]float64, n-1) // modified superdiagonal
 	x := make([]float64, n)
+	cp := make([]float64, n-1) // modified superdiagonal
+	if err := t.SolveInto(b, x, cp); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
 
+// SolveInto is the allocation-free Thomas solve: x receives the solution and
+// cp is caller-provided scratch of length ≥ n−1 (the modified
+// superdiagonal). b and x may alias — the forward sweep reads b[i] before
+// writing x[i]. This is the QWM Newton hot path's kernel; it performs zero
+// heap allocations.
+func (t *Tridiag) SolveInto(b, x, cp []float64) error {
+	n := t.N()
+	if len(b) != n || len(x) != n || len(cp) < n-1 {
+		panic("la: Tridiag.SolveInto dimension mismatch")
+	}
 	tiny := 1e-14 * t.scale()
 	d0 := t.Diag[0]
 	if math.Abs(d0) <= tiny {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	if n > 1 {
 		cp[0] = t.Sup[0] / d0
@@ -83,7 +112,7 @@ func (t *Tridiag) Solve(b []float64) ([]float64, error) {
 	for i := 1; i < n; i++ {
 		den := t.Diag[i] - t.Sub[i-1]*cp[i-1]
 		if math.Abs(den) <= tiny {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if i < n-1 {
 			cp[i] = t.Sup[i] / den
@@ -93,7 +122,7 @@ func (t *Tridiag) Solve(b []float64) ([]float64, error) {
 	for i := n - 2; i >= 0; i-- {
 		x[i] -= cp[i] * x[i+1]
 	}
-	return x, nil
+	return nil
 }
 
 // scale returns the largest element magnitude, used to flag pivots that are
@@ -129,25 +158,38 @@ func (t *Tridiag) scale() float64 {
 // algorithm or if 1 + vᵀz vanishes.
 func (t *Tridiag) SolveRankOne(u, v, b []float64) ([]float64, error) {
 	n := t.N()
-	if len(u) != n || len(v) != n || len(b) != n {
-		panic("la: SolveRankOne dimension mismatch")
-	}
-	y, err := t.Solve(b)
-	if err != nil {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	cp := make([]float64, n-1)
+	if err := t.SolveRankOneInto(u, v, b, x, y, z, cp); err != nil {
 		return nil, err
 	}
-	z, err := t.Solve(u)
-	if err != nil {
-		return nil, err
+	return x, nil
+}
+
+// SolveRankOneInto is the allocation-free Sherman–Morrison solve:
+// (T + u·vᵀ)·x = b with the solution written into x. y, z and cp are
+// caller-provided scratch of lengths n, n and ≥ n−1: y and z receive the two
+// intermediate Thomas solves T·y = b and T·z = u. x must not alias y or z.
+func (t *Tridiag) SolveRankOneInto(u, v, b, x, y, z, cp []float64) error {
+	n := t.N()
+	if len(u) != n || len(v) != n || len(b) != n || len(x) != n || len(y) != n || len(z) != n || len(cp) < n-1 {
+		panic("la: SolveRankOneInto dimension mismatch")
+	}
+	if err := t.SolveInto(b, y, cp); err != nil {
+		return err
+	}
+	if err := t.SolveInto(u, z, cp); err != nil {
+		return err
 	}
 	den := 1 + Dot(v, z)
 	if math.Abs(den) < 1e-300 {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	f := Dot(v, y) / den
-	x := make([]float64, n)
 	for i := range x {
 		x[i] = y[i] - f*z[i]
 	}
-	return x, nil
+	return nil
 }

@@ -206,3 +206,139 @@ func TestTridiagDense(t *testing.T) {
 		}
 	}
 }
+
+// SolveInto must match Solve exactly (same elimination order, same pivot
+// checks) and tolerate b aliasing x.
+func TestTridiagSolveIntoMatchesSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		tri := randomDDTridiag(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		want, err := tri.Solve(b)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		cp := make([]float64, n-1)
+		if err := tri.SolveInto(b, x, cp); err != nil {
+			return false
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				return false
+			}
+		}
+		// Aliased: solve in place on a copy of b.
+		ali := make([]float64, n)
+		copy(ali, b)
+		if err := tri.SolveInto(ali, ali, cp); err != nil {
+			return false
+		}
+		for i := range ali {
+			if ali[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRankOneIntoMatchesSolveRankOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		tri := randomDDTridiag(r, n)
+		u := make([]float64, n)
+		v := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			u[i] = r.NormFloat64() * 0.3
+			v[i] = r.NormFloat64() * 0.3
+			b[i] = r.NormFloat64()
+		}
+		want, err := tri.SolveRankOne(u, v, b)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		cp := make([]float64, n-1)
+		if err := tri.SolveRankOneInto(u, v, b, x, y, z, cp); err != nil {
+			return false
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The in-place kernels are the QWM Newton hot path: they must not touch the
+// heap at all.
+func TestSolveIntoZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 11
+	tri := randomDDTridiag(r, n)
+	u := make([]float64, n)
+	v := make([]float64, n)
+	b := make([]float64, n)
+	v[n-1] = 1
+	for i := 0; i < n-2; i++ {
+		u[i] = r.NormFloat64() * 0.3
+	}
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	cp := make([]float64, n-1)
+	bad := false
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := tri.SolveInto(b, x, cp); err != nil {
+			bad = true
+		}
+		if err := tri.SolveRankOneInto(u, v, b, x, y, z, cp); err != nil {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("solve failed")
+	}
+	if allocs != 0 {
+		t.Errorf("in-place solves allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestTridiagDenseIntoMatchesDense(t *testing.T) {
+	tri := &Tridiag{
+		Diag: []float64{4, 5, 6, 7},
+		Sub:  []float64{1, 2, 3},
+		Sup:  []float64{-1, -2, -3},
+	}
+	want := tri.Dense()
+	m := NewMatrix(4, 4)
+	// Pre-poison to verify DenseInto zeroes off-band entries.
+	for i := range m.Data {
+		m.Data[i] = 99
+	}
+	tri.DenseInto(m)
+	for i := range want.Data {
+		if m.Data[i] != want.Data[i] {
+			t.Fatalf("Data[%d] = %g, want %g", i, m.Data[i], want.Data[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qwm/internal/devmodel"
 	"qwm/internal/qwm"
@@ -91,6 +92,11 @@ func perturb(ch *qwm.Chain, v Variation, r *rand.Rand) *qwm.Chain {
 // device tables are immutable after characterization, so workers share
 // them) and returns the successful delays in sample order. The seed makes
 // the draw deterministic.
+//
+// Each worker's qwm.Evaluate borrows solver scratch from the engine's
+// process-wide pool, so after the first few samples warm it the sampling
+// loop reaches a steady state with no per-iteration solver allocations —
+// the same memory discipline the STA worker pool relies on.
 func RunSamples(ch *qwm.Chain, v Variation, n int, seed int64, opts qwm.Options) ([]float64, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("mc: need at least 2 samples")
@@ -112,13 +118,20 @@ func RunSamples(ch *qwm.Chain, v Variation, n int, seed int64, opts qwm.Options)
 	if workers > n {
 		workers = n
 	}
+	// Atomic work cursor: one fetch-add per sample instead of a channel
+	// rendezvous, and each worker keeps reusing the same pooled solver
+	// scratch run after run.
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var next atomic.Int64
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				res, err := qwm.Evaluate(chains[i], opts)
 				if err != nil {
 					continue
@@ -132,10 +145,6 @@ func RunSamples(ch *qwm.Chain, v Variation, n int, seed int64, opts qwm.Options)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
 	var good []float64

@@ -96,7 +96,9 @@ func (r *Result) Delay50(tIn, vdd float64) (float64, error) {
 	return tc - tIn, nil
 }
 
-// engine is the per-evaluation state.
+// engine is the per-evaluation state. Its numeric buffers are views into a
+// pooled solverScratch, so steady-state evaluation allocates only the
+// result waveforms.
 type engine struct {
 	ch      *Chain
 	o       Options
@@ -109,31 +111,65 @@ type engine struct {
 	front   int // index of the first off transistor element; m when all on
 	prevDur float64
 	res     *Result
+	scr     *solverScratch
+	rs      regionSys // reused region-system header (one region at a time)
 }
 
 // Evaluate runs piecewise quadratic waveform matching on a chain.
 func Evaluate(ch *Chain, opts Options) (*Result, error) {
+	e, err := newEngine(ch, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return e.run()
+}
+
+// newEngine validates the chain and borrows pooled scratch for it. The
+// caller must call release when done (run's result does not reference the
+// scratch).
+func newEngine(ch *Chain, opts Options) (*engine, error) {
 	if err := ch.Validate(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults(ch.Transistors())
 	m := ch.M()
+	scr := scratchPool.Get().(*solverScratch)
+	scr.ensure(m + 1)
 	e := &engine{
 		ch:   ch,
 		o:    o,
 		m:    m,
-		v:    make([]float64, m+1),
-		cur:  make([]float64, m+1),
-		capn: make([]float64, m+1),
+		v:    scr.v[:m+1],
+		cur:  scr.cur[:m+1],
+		capn: scr.capn[:m+1],
 		segs: make([]*wave.PWQ, m),
 		res:  &Result{},
+		scr:  scr,
 	}
+	e.v[0], e.cur[0], e.capn[0] = 0, 0, 0
 	for k := 1; k <= m; k++ {
 		e.v[k] = ch.V0[k-1]
+		e.cur[k], e.capn[k] = 0, 0
 		e.segs[k-1] = &wave.PWQ{}
 	}
 	e.res.CriticalTimes = append(e.res.CriticalTimes, 0)
+	return e, nil
+}
 
+// release returns the engine's scratch to the shared pool. Idempotent.
+func (e *engine) release() {
+	if e.scr != nil {
+		scratchPool.Put(e.scr)
+		e.scr = nil
+	}
+}
+
+// run executes the region loop. The returned Result owns its waveforms and
+// stays valid after release.
+func (e *engine) run() (*Result, error) {
+	m, o := e.m, e.o
+	ch := e.ch
 	e.advanceFront()
 	e.refreshCaps()
 	e.refreshCurrents()
@@ -347,7 +383,10 @@ func (e *engine) commitRegion(tauP float64, alpha []float64, active int) {
 // accurate through fast equilibration transients.
 func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, durCap float64) bool {
 	rs := e.newRegionSys(L, ev)
-	alpha := make([]float64, L)
+	alpha := e.scr.nextAlpha(L)
+	for i := range alpha {
+		alpha[i] = 0
+	}
 	if e.o.LinearWaveform {
 		copy(alpha, e.cur[1:L+1])
 	}
@@ -364,11 +403,15 @@ func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, 
 	}
 	if !e.o.FreezeCaps {
 		// Secant-capacitance second pass, as in solveRegionSecant.
-		saved := append([]float64(nil), e.capn...)
+		saved := e.scr.capSaved[:len(e.capn)]
+		copy(saved, e.capn)
 		for k := 1; k <= L; k++ {
 			e.capn[k] = e.ch.Caps[k-1].Secant(e.v[k], e.endVoltage(k, alpha[k-1], durCap), e.ch.VDD, e.ch.Pol)
 		}
-		alpha2 := make([]float64, L)
+		alpha2 := e.scr.nextAlpha(L)
+		for i := range alpha2 {
+			alpha2[i] = 0
+		}
 		if fe2, ok2 := rs.solveAlphas(alpha2, tauP, iter); ok2 && notFired(fe2) {
 			alpha = alpha2
 		} else {
@@ -376,7 +419,7 @@ func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, 
 		}
 	}
 	if e.o.Trace != nil {
-		e.o.Trace("region %d: time-cap %.4gps (%s pending)", e.res.Regions, tauP*1e12, ev.name)
+		e.o.Trace("region %d: time-cap %.4gps (%s pending)", e.res.Regions, tauP*1e12, ev.name())
 	}
 	e.commitRegion(tauP, alpha, L)
 	e.refreshCaps()
@@ -412,7 +455,8 @@ func (e *engine) solveRegionSecant(L int, ev event) (float64, []float64, error) 
 		return tauP, alpha, err
 	}
 	delta := tauP - e.t
-	saved := append([]float64(nil), e.capn...)
+	saved := e.scr.capSaved[:len(e.capn)]
+	copy(saved, e.capn)
 	for k := 1; k <= L; k++ {
 		e.capn[k] = e.ch.Caps[k-1].Secant(e.v[k], e.endVoltage(k, alpha[k-1], delta), e.ch.VDD, e.ch.Pol)
 	}

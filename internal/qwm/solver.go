@@ -11,9 +11,19 @@ import (
 // next stack transistor (paper Eq. 7, last line) or an output-level crossing
 // for the final regions. eval returns the residual, its derivative with
 // respect to the top active node voltage, and its direct time derivative.
+// The name is formatted lazily (diagnostics only) so constructing an event
+// on the hot path does not allocate a string.
 type event struct {
-	name string
+	kind string  // "turn-on" or "cross"
+	arg  float64 // element index or target level
 	eval func(tauP, vTop float64) (f, dfdv, dfdt float64)
+}
+
+func (ev *event) name() string {
+	if ev.kind == "turn-on" {
+		return fmt.Sprintf("turn-on[%d]", int(ev.arg))
+	}
+	return fmt.Sprintf("cross[%.3g]", ev.arg)
 }
 
 // turnOnEvent builds the G = V + Vth condition for transistor element i,
@@ -21,7 +31,8 @@ type event struct {
 func (e *engine) turnOnEvent(i int) event {
 	el := e.ch.Elems[i]
 	return event{
-		name: fmt.Sprintf("turn-on[%d]", i),
+		kind: "turn-on",
+		arg:  float64(i),
 		eval: func(tauP, vTop float64) (float64, float64, float64) {
 			const h = 1e-4
 			g := el.Gate.Eval(tauP)
@@ -39,7 +50,8 @@ func (e *engine) turnOnEvent(i int) event {
 // crossEvent builds the V_output = target condition for the final regions.
 func (e *engine) crossEvent(target float64) event {
 	return event{
-		name: fmt.Sprintf("cross[%.3g]", target),
+		kind: "cross",
+		arg:  target,
 		eval: func(tauP, vTop float64) (float64, float64, float64) {
 			return vTop - target, 1, 0
 		},
@@ -63,15 +75,18 @@ type regionSys struct {
 	iScale float64 // residual normalization for the current rows
 }
 
+// newRegionSys prepares the engine's single region-system header for a new
+// region: all state slices are views into the pooled scratch, so entering a
+// region allocates nothing but the event closure.
 func (e *engine) newRegionSys(L int, ev event) *regionSys {
-	rs := &regionSys{
-		e: e, L: L, ev: ev, lin: e.o.LinearWaveform,
-		v:    make([]float64, e.m+1),
-		vdot: make([]float64, e.m+1),
-		j:    make([]float64, L+1),
-		dLow: make([]float64, L+1),
-		dUp:  make([]float64, L+1),
-	}
+	s := e.scr
+	rs := &e.rs
+	rs.e, rs.L, rs.ev, rs.lin = e, L, ev, e.o.LinearWaveform
+	rs.v = s.rsV[:e.m+1]
+	rs.vdot = s.rsVdot[:e.m+1]
+	rs.j = s.rsJ[:L+1]
+	rs.dLow = s.rsDLow[:L+1]
+	rs.dUp = s.rsDUp[:L+1]
 	rs.iScale = 1e-7
 	for k := 1; k <= L; k++ {
 		if a := math.Abs(e.cur[k]); a > rs.iScale {
@@ -251,13 +266,24 @@ func (rs *regionSys) vdotAt(k int) float64 {
 func (e *engine) solveRegion(L int, ev event) (float64, []float64, error) {
 	rs := e.newRegionSys(L, ev)
 
-	guesses := make([]float64, 0, 8)
+	// Fixed-size guess ladder (stack-allocated; the hot path must not touch
+	// the heap).
+	var guesses [7]float64
+	ng := 0
 	if e.prevDur > 0 {
-		guesses = append(guesses, e.prevDur, e.prevDur/4)
+		guesses[ng] = e.prevDur
+		guesses[ng+1] = e.prevDur / 4
+		ng += 2
 	}
-	guesses = append(guesses, 1e-12, 1e-11, 1e-10, 1e-9, 5e-9)
-	for _, dg := range guesses {
-		x := make([]float64, L+1)
+	for _, dg := range [...]float64{1e-12, 1e-11, 1e-10, 1e-9, 5e-9} {
+		guesses[ng] = dg
+		ng++
+	}
+	x := e.scr.x[:L+1]
+	for _, dg := range guesses[:ng] {
+		for i := range x {
+			x[i] = 0
+		}
 		if rs.lin {
 			// The linear model's unknowns are absolute currents; start from
 			// the region-entry values.
@@ -265,7 +291,12 @@ func (e *engine) solveRegion(L int, ev event) (float64, []float64, error) {
 		}
 		x[L] = e.t + dg
 		if ok := rs.newton(x, e.o.MaxNR, e.o.UseDenseLU); ok {
-			return x[L], x[:L], nil
+			// Copy the result out of the shared x buffer: the caller's secant
+			// second pass holds it across the next solveRegion call, so the
+			// two most recent results rotate through a double buffer.
+			out := e.scr.nextAlpha(L)
+			copy(out, x[:L])
+			return x[L], out, nil
 		}
 	}
 	// Bisection fallback on τ′ with an inner α solve at each trial point.
@@ -273,31 +304,42 @@ func (e *engine) solveRegion(L int, ev event) (float64, []float64, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	return tauP, alpha, nil
+	out := e.scr.nextAlpha(L)
+	copy(out, alpha)
+	return tauP, out, nil
 }
 
 // newton runs the damped joint Newton iteration in place on x, returning
-// whether it converged.
+// whether it converged. Every work vector is a view into the engine's
+// pooled scratch, and the linear solve uses the in-place Thomas +
+// Sherman–Morrison kernels; both the dense-LU ablation and the rare
+// Thomas-breakdown recovery solve through the scratch's dense workspace, so
+// an iteration performs zero heap allocations on every path.
 func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 	e := rs.e
 	L := rs.L
-	F := make([]float64, L+1)
+	s := e.scr
+	F := s.F[:L+1]
 	if !rs.residual(x, F) {
 		return false
 	}
 	fn := rs.norm(F)
 
-	tri := la.NewTridiag(L + 1)
-	u := make([]float64, L+1)
-	v := make([]float64, L+1)
+	tri := s.triN(L + 1)
+	u := s.u[:L+1]
+	v := s.vcol[:L+1]
+	for i := range v {
+		v[i] = 0
+	}
 	v[L] = 1
 	var dm *la.Matrix
 	if dense {
-		dm = la.NewMatrix(L+1, L+1)
+		dm = s.denseN(L + 1)
 	}
-	neg := make([]float64, L+1)
-	trial := make([]float64, L+1)
-	Ftrial := make([]float64, L+1)
+	neg := s.neg[:L+1]
+	trial := s.trial[:L+1]
+	Ftrial := s.Ftrial[:L+1]
+	dx := s.dx[:L+1]
 
 	const tol = 1e-7
 	for iter := 0; iter < maxIter; iter++ {
@@ -309,19 +351,20 @@ func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 		for i, f := range F {
 			neg[i] = -f
 		}
-		var dx []float64
 		var err error
 		if dense {
-			dx, err = la.SolveDense(dm, neg)
+			err = la.SolveDenseInto(dm, neg, dx, s.luN(L+1), s.piv[:L+1])
 		} else {
-			dx, err = tri.SolveRankOne(u, v, neg)
+			err = tri.SolveRankOneInto(u, v, neg, dx, s.y[:L+1], s.z[:L+1], s.cp[:L])
 			if err != nil {
-				// Thomas pivot breakdown: recover via dense LU once.
-				full := tri.Dense()
+				// Thomas pivot breakdown: recover via a dense LU solve
+				// through the scratch workspace (no allocation).
+				full := s.denseN(L + 1)
+				tri.DenseInto(full)
 				for r := 0; r <= L; r++ {
 					full.Add(r, L, u[r])
 				}
-				dx, err = la.SolveDense(full, neg)
+				err = la.SolveDenseInto(full, neg, dx, s.luN(L+1), s.piv[:L+1])
 			}
 		}
 		if err != nil {
@@ -360,17 +403,24 @@ func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 func (rs *regionSys) solveAlphas(alpha []float64, tauP float64, maxIter int) (float64, bool) {
 	e := rs.e
 	L := rs.L
-	x := make([]float64, L+1)
+	s := e.scr
+	// The joint Newton iteration is never active while the inner solve runs
+	// (solveAlphas is reached only from the bisection fallback and the
+	// time-capped probe), so the two share the scratch work vectors.
+	x := s.x[:L+1]
 	copy(x, alpha)
 	x[L] = tauP
-	F := make([]float64, L+1)
+	F := s.F[:L+1]
 	if !rs.residual(x, F) {
 		return 0, false
 	}
 	fn := rs.normAlpha(F)
-	tri := la.NewTridiag(L + 1)
-	u := make([]float64, L+1)
-	neg := make([]float64, L)
+	tri := s.triN(L + 1)
+	u := s.u[:L+1]
+	neg := s.neg[:L]
+	dx := s.dx[:L]
+	trial := s.trial[:L+1]
+	Ftrial := s.Ftrial[:L+1]
 	const tol = 1e-7
 	for iter := 0; iter < maxIter; iter++ {
 		e.res.NRIterations++
@@ -381,7 +431,7 @@ func (rs *regionSys) solveAlphas(alpha []float64, tauP float64, maxIter int) (fl
 		rs.jacobian(x, tri, u, nil)
 		// Restrict to the leading L×L block: dropping the event row and the
 		// τ′ column (which occupies Sup[L-1] in the full band).
-		inner := la.NewTridiag(L)
+		inner := s.innerN(L)
 		copy(inner.Diag, tri.Diag[:L])
 		if L > 1 {
 			copy(inner.Sub, tri.Sub[:L-1])
@@ -390,14 +440,15 @@ func (rs *regionSys) solveAlphas(alpha []float64, tauP float64, maxIter int) (fl
 		for i := 0; i < L; i++ {
 			neg[i] = -F[i]
 		}
-		dx, err := inner.Solve(neg)
-		if err != nil {
+		var cp []float64
+		if L > 1 {
+			cp = s.cp[:L-1]
+		}
+		if err := inner.SolveInto(neg, dx, cp); err != nil {
 			return 0, false
 		}
 		lambda := 1.0
 		accepted := false
-		trial := make([]float64, L+1)
-		Ftrial := make([]float64, L+1)
 		for try := 0; try < 12; try++ {
 			copy(trial, x)
 			for i := 0; i < L; i++ {
@@ -442,7 +493,10 @@ func (rs *regionSys) normAlpha(F []float64) float64 {
 func (rs *regionSys) bisect() (float64, []float64, error) {
 	e := rs.e
 	L := rs.L
-	alpha := make([]float64, L)
+	alpha := e.scr.alphaBis[:L]
+	for i := range alpha {
+		alpha[i] = 0
+	}
 	if rs.lin {
 		copy(alpha, e.cur[1:L+1])
 	}
@@ -454,7 +508,7 @@ func (rs *regionSys) bisect() (float64, []float64, error) {
 		innerIter = 30
 	}
 	g := func(tauP float64) (float64, bool) {
-		trial := make([]float64, L)
+		trial := e.scr.alphaTrial[:L]
 		copy(trial, alpha)
 		fe, ok := rs.solveAlphas(trial, tauP, innerIter)
 		if ok {
@@ -465,7 +519,7 @@ func (rs *regionSys) bisect() (float64, []float64, error) {
 	start := e.t + 1e-15
 	ga, okA := g(start)
 	if !okA {
-		return 0, nil, fmt.Errorf("inner solve failed at region start (%s)", rs.ev.name)
+		return 0, nil, fmt.Errorf("inner solve failed at region start (%s)", rs.ev.name())
 	}
 	dt := e.prevDur
 	if dt <= 0 {
@@ -484,7 +538,7 @@ func (rs *regionSys) bisect() (float64, []float64, error) {
 		b = e.t + (b-e.t)*2
 	}
 	if !found {
-		return 0, nil, fmt.Errorf("no %s event before the %g s horizon", rs.ev.name, e.o.Horizon)
+		return 0, nil, fmt.Errorf("no %s event before the %g s horizon", rs.ev.name(), e.o.Horizon)
 	}
 	a := start
 	for iter := 0; iter < 80 && (b-a) > 1e-18+1e-12*(b-e.t); iter++ {
@@ -504,7 +558,7 @@ func (rs *regionSys) bisect() (float64, []float64, error) {
 	_ = gb
 	tauP := 0.5 * (a + b)
 	if fe, ok := g(tauP); !ok || math.IsNaN(fe) {
-		return 0, nil, fmt.Errorf("inner solve failed at bisection result (%s)", rs.ev.name)
+		return 0, nil, fmt.Errorf("inner solve failed at bisection result (%s)", rs.ev.name())
 	}
 	return tauP, alpha, nil
 }

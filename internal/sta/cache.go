@@ -1,0 +1,122 @@
+package sta
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// dirTiming is the cached QWM result for one (stage output, rail, input-slew
+// bucket) triple. ok is false when the stage has no conducting path to that
+// rail (e.g. a pass-gate structure) or the evaluation failed to converge.
+type dirTiming struct {
+	delay, slew float64
+	ok          bool
+}
+
+// cacheShards is the number of independently locked shards in the delay
+// cache. 32 keeps lock contention negligible for worker counts up to the
+// core counts this engine targets while costing only a few hundred bytes.
+const cacheShards = 32
+
+// delayCache is a sharded, single-flight concurrent map from direction keys
+// to dirTiming. Shard selection hashes the key with FNV-1a, and each shard
+// is guarded by its own RWMutex, so parallel level evaluation scales without
+// serializing on one lock.
+//
+// Single-flight discipline: the first goroutine to miss on a key installs an
+// entry with an open ready channel and computes the value; later arrivals
+// for the same key block on ready instead of re-evaluating. This keeps the
+// evaluation count deterministic — every unique key is computed exactly once
+// no matter how many workers race on it — which is what lets the parallel
+// engine report the same StagesEvaluated as the serial one.
+type delayCache struct {
+	shards [cacheShards]cacheShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	evals  atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once val is populated
+	val   dirTiming
+}
+
+func newDelayCache() *delayCache {
+	c := &delayCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*cacheEntry{}
+	}
+	return c
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to avoid the hash/fnv interface
+// allocations on the hot path.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// getOrCompute returns the timing for key, invoking compute at most once per
+// key across all goroutines. Concurrent callers with the same key wait for
+// the winner's result.
+func (c *delayCache) getOrCompute(key string, compute func() dirTiming) dirTiming {
+	sh := &c.shards[fnv1a(key)%cacheShards]
+
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+
+	if e == nil {
+		sh.mu.Lock()
+		if e = sh.m[key]; e == nil {
+			e = &cacheEntry{ready: make(chan struct{})}
+			sh.m[key] = e
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			e.val = compute()
+			close(e.ready)
+			return e.val
+		}
+		sh.mu.Unlock()
+	}
+	c.hits.Add(1)
+	<-e.ready
+	return e.val
+}
+
+// CacheStats is a snapshot of the delay cache's counters.
+type CacheStats struct {
+	// Hits and Misses count lookups; a miss triggers exactly one QWM
+	// evaluation (single-flight), so Misses also bounds total solver work.
+	Hits, Misses int64
+	// Evaluations counts QWM engine runs actually performed (one per
+	// direction compute; equals Misses unless a compute was skipped).
+	Evaluations int64
+	// Entries is the number of cached direction timings.
+	Entries int
+}
+
+func (c *delayCache) stats() CacheStats {
+	s := CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evaluations: c.evals.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		s.Entries += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return s
+}

@@ -1,18 +1,32 @@
 // Package sta is the static-timing-analysis layer of the paper's title: it
 // partitions a transistor netlist into logic stages (channel-connected
-// components), orders them topologically along gate connectivity, evaluates
-// each stage's worst-case rise and fall delays with the QWM engine, and
+// components), levelizes them along gate connectivity, evaluates each
+// stage's worst-case rise and fall delays with the QWM engine, and
 // propagates arrival times to the primary outputs — "only the timing of the
 // logic stages along the longest paths needs to be considered" (§I).
 //
-// Stage delays are cached by stage identity, so re-analysis after a local
-// edit (the incremental-STA use case) only re-evaluates the stages whose
-// devices changed and re-propagates arrivals.
+// Evaluation is parallel: stages are grouped into dependency levels (Kahn),
+// every (stage output, direction) pair in a level becomes an independent
+// work item, and a worker pool sized by Analyzer.Workers drains the items
+// through a sharded single-flight delay cache. Arrival propagation and
+// critical-path bookkeeping stay sequential, so the parallel engine is
+// bit-for-bit deterministic: it returns exactly the arrivals, critical path
+// and evaluation count the serial (Workers = 1) engine does.
+//
+// Stage delays are cached by stage identity, direction and input-slew
+// bucket, so re-analysis after a local edit (the incremental-STA use case)
+// only re-evaluates the directions whose devices or input slews changed and
+// re-propagates arrivals.
 package sta
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"qwm/internal/circuit"
 	"qwm/internal/devmodel"
@@ -30,26 +44,46 @@ type Arrival struct {
 }
 
 // Analyzer evaluates stage delays with QWM over a characterized library.
+// The zero value is usable: the delay cache is initialized lazily on first
+// Analyze. An Analyzer may be shared across goroutines once constructed —
+// the cache is concurrency-safe — though each Analyze call already
+// parallelizes internally.
 type Analyzer struct {
 	Tech *mos.Tech
 	Lib  *devmodel.Library
 	// Opts tunes the per-stage QWM evaluations.
 	Opts qwm.Options
+	// Workers caps the number of concurrent stage-direction evaluations per
+	// level. 0 means runtime.GOMAXPROCS(0); 1 forces the serial in-line
+	// path (no goroutines). Results are identical for every setting.
+	Workers int
 
-	cache     map[string]stageTiming
-	evaluated int
+	cacheOnce sync.Once
+	cache     *delayCache
 }
 
 // New creates an analyzer with a fresh delay cache.
 func New(tech *mos.Tech, lib *devmodel.Library) *Analyzer {
-	return &Analyzer{Tech: tech, Lib: lib, cache: map[string]stageTiming{}}
+	a := &Analyzer{Tech: tech, Lib: lib}
+	a.ensureCache()
+	return a
 }
 
-// stageTiming is the cached QWM result for one stage output.
-type stageTiming struct {
-	fallDelay, fallSlew float64 // output falling (pull-down path)
-	riseDelay, riseSlew float64 // output rising (pull-up path)
-	fallOK, riseOK      bool
+// ensureCache lazily initializes the delay cache so a zero-value Analyzer
+// works (previously `a.cache[key] = t` panicked on the nil map).
+func (a *Analyzer) ensureCache() {
+	a.cacheOnce.Do(func() {
+		if a.cache == nil {
+			a.cache = newDelayCache()
+		}
+	})
+}
+
+// CacheStats returns a snapshot of the delay cache's hit/miss/evaluation
+// counters and entry count.
+func (a *Analyzer) CacheStats() CacheStats {
+	a.ensureCache()
+	return a.cache.stats()
 }
 
 // Result is a completed analysis.
@@ -64,77 +98,122 @@ type Result struct {
 	// directions).
 	WorstArrival float64
 	WorstOutput  string
-	// StagesEvaluated counts QWM evaluations performed (cache misses × 2
-	// directions); the incremental path keeps this small.
+	// StagesEvaluated counts QWM evaluations performed during this call
+	// (cache misses; one per stage output, direction and slew bucket). The
+	// incremental path keeps this small, and it is identical for serial
+	// and parallel runs thanks to the cache's single-flight discipline.
 	StagesEvaluated int
 }
 
+// workItem is one independent evaluation: a stage output switching toward
+// one rail under a given input slew. Items in a level share no data
+// dependencies, so the worker pool may execute them in any order; the
+// results are folded into arrivals sequentially afterwards.
+type workItem struct {
+	st     *circuit.Stage
+	out    string
+	rail   string // circuit.GroundNode (output falls) or circuit.SupplyNode (rises)
+	inSlew float64
+	timing dirTiming
+}
+
+// stageInputs is the gathered worst-case input picture for one stage at its
+// level: the latest rise/fall arrivals, the slews of those edges, and the
+// nets they came from (for critical-path tracing).
+type stageInputs struct {
+	latestRise, latestFall float64
+	riseSlew, fallSlew     float64
+	riseFrom, fallFrom     string
+}
+
 // Analyze runs a full timing analysis: the netlist is partitioned into
-// stages, stage delays are evaluated (or reused from the cache), and
-// arrivals propagate from the primary inputs to the requested outputs.
+// stages, stages are levelized, each level's rise/fall evaluations run
+// across the worker pool (reusing cached delays), and arrivals propagate
+// from the primary inputs to the requested outputs.
 func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outputs []string) (*Result, error) {
+	a.ensureCache()
 	stages := circuit.ExtractStages(n, outputs)
 	if len(stages) == 0 {
 		return nil, fmt.Errorf("sta: no logic stages found")
 	}
 
-	// Net → producing stage, and stage → input nets.
+	// Net → producing stage, then Kahn levelization over gate connectivity.
 	producer := map[string]*circuit.Stage{}
 	for _, st := range stages {
 		for _, o := range st.Outputs {
 			producer[o] = st
 		}
 	}
-	// Topological order over stages via DFS from outputs.
-	order, err := topoOrder(stages, producer)
+	levels, err := levelize(stages, producer)
 	if err != nil {
 		return nil, err
 	}
 
+	// Fanout-load index: one pass over the netlist instead of a rescan of
+	// every transistor and capacitor per stage output.
+	loads := buildLoadIndex(n, a.Tech)
+
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	res := &Result{Arrivals: map[string]Arrival{}}
-	evalStart := a.evaluated
+	missStart := a.cache.misses.Load()
 	pred := map[string]string{} // net -> worst predecessor net
 	for net, ar := range primary {
 		res.Arrivals[circuit.CanonName(net)] = ar
 	}
 
-	for _, st := range order {
-		// Latest input arrivals for this stage. An input that rises makes
-		// the pull-down conduct (output falls), and vice versa. The arriving
-		// edge's slew shapes the stage's input ramp.
-		latestRise, latestFall := 0.0, 0.0
-		riseSlew, fallSlew := 0.0, 0.0
-		riseFrom, fallFrom := "", ""
-		for _, in := range st.Inputs {
-			ar, ok := res.Arrivals[in]
-			if !ok {
-				// Unconstrained input: treat as arriving at t = 0.
-				ar = Arrival{}
-			}
-			if ar.Rise >= latestRise {
-				latestRise, riseSlew, riseFrom = ar.Rise, ar.RiseSlew, in
-			}
-			if ar.Fall >= latestFall {
-				latestFall, fallSlew, fallFrom = ar.Fall, ar.FallSlew, in
+	var items []workItem
+	var ins []stageInputs
+	for _, level := range levels {
+		// Gather phase (sequential): the worst input arrivals per stage
+		// depend only on completed earlier levels.
+		ins = ins[:0]
+		items = items[:0]
+		for _, st := range level {
+			si := gatherInputs(st, res.Arrivals)
+			ins = append(ins, si)
+			for _, out := range st.Outputs {
+				// An input that rises makes the pull-down conduct (output
+				// falls), and vice versa; each direction sees the slew of
+				// the edge that triggers it.
+				items = append(items,
+					workItem{st: st, out: out, rail: circuit.GroundNode, inSlew: si.riseSlew},
+					workItem{st: st, out: out, rail: circuit.SupplyNode, inSlew: si.fallSlew},
+				)
 			}
 		}
-		for _, out := range st.Outputs {
-			timing, err := a.stageTiming(n, st, out, riseSlew, fallSlew)
-			if err != nil {
-				return nil, err
+
+		// Evaluate phase (parallel): drain the level's items through the
+		// worker pool; the single-flight cache deduplicates identical keys.
+		a.runItems(items, loads, workers)
+
+		// Apply phase (sequential, deterministic): fold results into
+		// arrivals in stage/output order, exactly as the serial engine.
+		k := 0
+		for li, st := range level {
+			si := &ins[li]
+			for _, out := range st.Outputs {
+				fall, rise := items[k].timing, items[k+1].timing
+				k += 2
+				if !fall.ok && !rise.ok {
+					return nil, fmt.Errorf("sta: stage %s output %q has neither pull-up nor pull-down path", st.Name, out)
+				}
+				ar := res.Arrivals[out]
+				if fall.ok {
+					ar.Fall = si.latestRise + fall.delay
+					ar.FallSlew = fall.slew
+					pred[out+"~fall"] = si.riseFrom
+				}
+				if rise.ok {
+					ar.Rise = si.latestFall + rise.delay
+					ar.RiseSlew = rise.slew
+					pred[out+"~rise"] = si.fallFrom
+				}
+				res.Arrivals[out] = ar
 			}
-			ar := res.Arrivals[out]
-			if timing.fallOK {
-				ar.Fall = latestRise + timing.fallDelay
-				ar.FallSlew = timing.fallSlew
-				pred[out+"~fall"] = riseFrom
-			}
-			if timing.riseOK {
-				ar.Rise = latestFall + timing.riseDelay
-				ar.RiseSlew = timing.riseSlew
-				pred[out+"~rise"] = fallFrom
-			}
-			res.Arrivals[out] = ar
 		}
 	}
 
@@ -155,7 +234,7 @@ func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outpu
 	}
 	res.WorstArrival = worst
 	res.WorstOutput = worstNet
-	res.StagesEvaluated = a.evaluated - evalStart
+	res.StagesEvaluated = int(a.cache.misses.Load() - missStart)
 	// Trace the critical path back through alternating directions.
 	net, dir := worstNet, worstDir
 	for net != "" {
@@ -174,36 +253,79 @@ func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outpu
 	return res, nil
 }
 
-// stageTiming returns (possibly cached) QWM delays for one stage output
-// under the given input slews. Slews are bucketed to 5 ps so nearby values
-// share a cache entry.
-func (a *Analyzer) stageTiming(n *circuit.Netlist, st *circuit.Stage, out string, inRiseSlew, inFallSlew float64) (stageTiming, error) {
-	key := fmt.Sprintf("%s|%d|%d", stageKey(st, out), slewBucket(inRiseSlew), slewBucket(inFallSlew))
-	if t, ok := a.cache[key]; ok {
-		return t, nil
+// gatherInputs computes the worst-case input arrivals/slews for one stage.
+// An input with no recorded arrival is unconstrained: it arrives at t = 0
+// as an ideal step.
+func gatherInputs(st *circuit.Stage, arrivals map[string]Arrival) stageInputs {
+	var si stageInputs
+	for _, in := range st.Inputs {
+		ar := arrivals[in]
+		if ar.Rise >= si.latestRise {
+			si.latestRise, si.riseSlew, si.riseFrom = ar.Rise, ar.RiseSlew, in
+		}
+		if ar.Fall >= si.latestFall {
+			si.latestFall, si.fallSlew, si.fallFrom = ar.Fall, ar.FallSlew, in
+		}
 	}
-	var t stageTiming
-	loads := a.fanoutLoads(n, st, out)
-
-	fall, err := a.evalDirection(st, out, circuit.GroundNode, loads, inRiseSlew)
-	if err == nil {
-		t.fallDelay, t.fallSlew, t.fallOK = fall.delay, fall.slew, true
-	}
-	rise, err := a.evalDirection(st, out, circuit.SupplyNode, loads, inFallSlew)
-	if err == nil {
-		t.riseDelay, t.riseSlew, t.riseOK = rise.delay, rise.slew, true
-	}
-	if !t.fallOK && !t.riseOK {
-		return t, fmt.Errorf("sta: stage %s output %q has neither pull-up nor pull-down path", st.Name, out)
-	}
-	a.cache[key] = t
-	a.evaluated++
-	return t, nil
+	return si
 }
 
+// runItems evaluates every work item, using up to workers goroutines. With
+// one worker (or one item) it stays on the calling goroutine — the serial
+// reference path.
+func (a *Analyzer) runItems(items []workItem, loads *loadIndex, workers int) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 || len(items) <= 1 {
+		for i := range items {
+			a.evalItem(&items[i], loads)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				a.evalItem(&items[i], loads)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalItem resolves one work item through the delay cache, computing the
+// direction timing on a miss.
+func (a *Analyzer) evalItem(it *workItem, loads *loadIndex) {
+	key := stageKey(it.st, it.out) + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
+	it.timing = a.cache.getOrCompute(key, func() dirTiming {
+		a.cache.evals.Add(1)
+		r, err := a.evalDirection(it.st, it.out, it.rail, loads.stageLoads(it.st, it.out), it.inSlew)
+		if err != nil {
+			// No conducting path to this rail, or the evaluation failed:
+			// the direction simply contributes no arrival (the apply phase
+			// errors only if both directions are missing).
+			return dirTiming{}
+		}
+		return dirTiming{delay: r.delay, slew: r.slew, ok: true}
+	})
+}
+
+// slewBucket quantizes a transition time to 5 ps so nearby values share a
+// cache entry. math.Floor keeps the buckets uniform: the previous int()
+// conversion truncated toward zero, which made the bucket straddling zero
+// twice as wide and asymmetric (e.g. −4.9 ps and +4.9 ps both mapped to
+// bucket 0).
 func slewBucket(s float64) int {
 	const pitch = 5e-12
-	return int(s / pitch)
+	return int(math.Floor(s / pitch))
 }
 
 type dirResult struct{ delay, slew float64 }
@@ -266,37 +388,53 @@ func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[
 	return dirResult{delay: d, slew: slew}, nil
 }
 
-// fanoutLoads sums the gate capacitance of every transistor the stage
-// output drives plus explicit grounded capacitors on the net.
-func (a *Analyzer) fanoutLoads(n *circuit.Netlist, st *circuit.Stage, out string) map[string]float64 {
-	loads := map[string]float64{}
+// loadIndex is the per-Analyze fanout index: net → summed gate capacitance
+// of the transistors that net drives, and net → summed explicit grounded
+// capacitance. Building it is one pass over the netlist; the previous
+// fanoutLoads rescanned every transistor and capacitor for every stage
+// output — O(stages × devices).
+type loadIndex struct {
+	gateCap map[string]float64
+	nodeCap map[string]float64
+}
+
+func buildLoadIndex(n *circuit.Netlist, tech *mos.Tech) *loadIndex {
+	ix := &loadIndex{
+		gateCap: make(map[string]float64, len(n.Transistors)),
+		nodeCap: make(map[string]float64, len(n.Capacitors)),
+	}
 	for _, t := range n.Transistors {
-		if t.Gate != out {
+		p := &tech.N
+		if t.Kind == circuit.KindPMOS {
+			p = &tech.P
+		}
+		ix.gateCap[t.Gate] += p.GateCap(t.W, t.L)
+	}
+	for _, c := range n.Capacitors {
+		if c.B == circuit.GroundNode {
+			ix.nodeCap[c.A] += c.C
+		}
+		if c.A == circuit.GroundNode {
+			ix.nodeCap[c.B] += c.C
+		}
+	}
+	return ix
+}
+
+// stageLoads assembles the per-node load map for one stage output from the
+// index: the output carries its fanout gate caps plus explicit caps, and
+// internal path nodes carry their explicit caps.
+func (ix *loadIndex) stageLoads(st *circuit.Stage, out string) map[string]float64 {
+	loads := map[string]float64{}
+	if c := ix.gateCap[out] + ix.nodeCap[out]; c != 0 {
+		loads[out] = c
+	}
+	for _, nd := range st.Nodes {
+		if nd == out {
 			continue
 		}
-		p := &a.Tech.N
-		if t.Kind == circuit.KindPMOS {
-			p = &a.Tech.P
-		}
-		loads[out] += p.GateCap(t.W, t.L)
-	}
-	for _, c := range n.Capacitors {
-		if c.A == out && c.B == circuit.GroundNode {
-			loads[out] += c.C
-		}
-		if c.B == out && c.A == circuit.GroundNode {
-			loads[out] += c.C
-		}
-	}
-	// Internal path nodes also carry their explicit caps.
-	for _, c := range n.Capacitors {
-		for _, nd := range st.Nodes {
-			if nd == out {
-				continue
-			}
-			if (c.A == nd && c.B == circuit.GroundNode) || (c.B == nd && c.A == circuit.GroundNode) {
-				loads[nd] += c.C
-			}
+		if c := ix.nodeCap[nd]; c != 0 {
+			loads[nd] += c
 		}
 	}
 	return loads
@@ -317,39 +455,66 @@ func stageKey(st *circuit.Stage, out string) string {
 	return key
 }
 
-// topoOrder sorts stages so producers precede consumers.
-func topoOrder(stages []*circuit.Stage, producer map[string]*circuit.Stage) ([]*circuit.Stage, error) {
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := map[*circuit.Stage]int{}
-	var order []*circuit.Stage
-	var visit func(st *circuit.Stage) error
-	visit = func(st *circuit.Stage) error {
-		switch color[st] {
-		case gray:
-			return fmt.Errorf("sta: combinational loop through stage %s", st.Name)
-		case black:
-			return nil
-		}
-		color[st] = gray
+// levelize groups stages into dependency levels with Kahn's algorithm:
+// level 0 holds stages with no in-stage producers, level k+1 holds stages
+// whose producers all sit in levels ≤ k. Stages within a level keep their
+// ExtractStages order, so the schedule — and therefore the sequential apply
+// order — is deterministic. A cycle in the stage graph is a combinational
+// loop and is rejected.
+func levelize(stages []*circuit.Stage, producer map[string]*circuit.Stage) ([][]*circuit.Stage, error) {
+	idx := make(map[*circuit.Stage]int, len(stages))
+	for i, st := range stages {
+		idx[st] = i
+	}
+	consumers := make([][]int, len(stages))
+	indeg := make([]int, len(stages))
+	for i, st := range stages {
+		seen := map[int]bool{}
 		for _, in := range st.Inputs {
-			if p, ok := producer[in]; ok && p != st {
-				if err := visit(p); err != nil {
-					return err
+			p, ok := producer[in]
+			if !ok || p == st {
+				continue
+			}
+			j := idx[p]
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			consumers[j] = append(consumers[j], i)
+			indeg[i]++
+		}
+	}
+	var cur []int
+	for i := range stages {
+		if indeg[i] == 0 {
+			cur = append(cur, i)
+		}
+	}
+	var levels [][]*circuit.Stage
+	processed := 0
+	for len(cur) > 0 {
+		// Deterministic in-level order: ascending original index.
+		sort.Ints(cur)
+		level := make([]*circuit.Stage, len(cur))
+		var next []int
+		for k, i := range cur {
+			level[k] = stages[i]
+			processed++
+			for _, c := range consumers[i] {
+				if indeg[c]--; indeg[c] == 0 {
+					next = append(next, c)
 				}
 			}
 		}
-		color[st] = black
-		order = append(order, st)
-		return nil
+		levels = append(levels, level)
+		cur = next
 	}
-	for _, st := range stages {
-		if err := visit(st); err != nil {
-			return nil, err
+	if processed != len(stages) {
+		for i := range stages {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("sta: combinational loop through stage %s", stages[i].Name)
+			}
 		}
 	}
-	return order, nil
+	return levels, nil
 }

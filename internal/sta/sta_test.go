@@ -96,8 +96,9 @@ func TestIncrementalReanalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first.StagesEvaluated != 5 {
-		t.Fatalf("first analysis evaluated %d stages, want 5", first.StagesEvaluated)
+	// Five stages × two directions, every direction a distinct cache key.
+	if first.StagesEvaluated != 10 {
+		t.Fatalf("first analysis evaluated %d stage directions, want 10", first.StagesEvaluated)
 	}
 	// Widen one middle inverter: the edited stage recomputes, and at most a
 	// couple of downstream stages whose input-slew bucket shifted — never
@@ -107,8 +108,8 @@ func TestIncrementalReanalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if second.StagesEvaluated < 1 || second.StagesEvaluated > 3 {
-		t.Errorf("incremental analysis evaluated %d stages, want 1–3", second.StagesEvaluated)
+	if second.StagesEvaluated < 2 || second.StagesEvaluated > 6 {
+		t.Errorf("incremental analysis evaluated %d stage directions, want 2–6", second.StagesEvaluated)
 	}
 	if second.WorstArrival >= first.WorstArrival {
 		t.Errorf("widening a driver should reduce the worst arrival: %g vs %g",

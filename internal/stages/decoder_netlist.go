@@ -1,0 +1,79 @@
+package stages
+
+import (
+	"fmt"
+
+	"qwm/internal/circuit"
+	"qwm/internal/mos"
+)
+
+// DecoderNetlist builds a multi-stage row-decoder netlist for the STA layer:
+// `bits` address inverters feed 2^bits bits-input NAND gates (one per row,
+// selecting on the true/complement address lines), each followed by a row
+// driver inverter loaded with cl. The result is a wide, shallow stage DAG —
+// 2·2^bits + bits stages across three dependency levels — which is the
+// workload shape the parallel levelized engine is built for: every NAND and
+// every driver in a level is an independent work item.
+//
+// It returns the netlist, the primary input nets (a0 … a{bits-1}) and the
+// decoded row outputs (y0 … y{2^bits−1}).
+func DecoderNetlist(tech *mos.Tech, bits int, w, cl float64) (*circuit.Netlist, []string, []string, error) {
+	if bits < 1 || bits > 8 {
+		return nil, nil, nil, fmt.Errorf("stages: decoder bits must be in [1,8], got %d", bits)
+	}
+	n := &circuit.Netlist{}
+	wn, wp := w, 2*w
+	lmin := tech.LMin
+
+	addNMOS := func(name, d, g, s string) {
+		n.AddTransistor(&circuit.Transistor{
+			Name: name, Kind: circuit.KindNMOS,
+			Drain: d, Gate: g, Source: s, Body: "0", W: wn, L: lmin,
+		})
+	}
+	addPMOS := func(name, d, g string) {
+		n.AddTransistor(&circuit.Transistor{
+			Name: name, Kind: circuit.KindPMOS,
+			Drain: d, Gate: g, Source: "vdd", Body: "vdd", W: wp, L: lmin,
+		})
+	}
+
+	// Level 0: address inverters a_i -> ab_i.
+	inputs := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		a, ab := fmt.Sprintf("a%d", i), fmt.Sprintf("ab%d", i)
+		inputs[i] = a
+		addNMOS(fmt.Sprintf("mni%d", i), ab, a, "0")
+		addPMOS(fmt.Sprintf("mpi%d", i), ab, a)
+	}
+
+	// Level 1: one bits-input NAND per row; level 2: the row driver.
+	rows := 1 << bits
+	outputs := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		word := fmt.Sprintf("w%d", r)
+		// Pull-down: series NMOS stack gated by the selected address lines.
+		src := "0"
+		for i := 0; i < bits; i++ {
+			sel := fmt.Sprintf("ab%d", i)
+			if r&(1<<i) != 0 {
+				sel = fmt.Sprintf("a%d", i)
+			}
+			drain := word
+			if i < bits-1 {
+				drain = fmt.Sprintf("w%d_s%d", r, i)
+			}
+			addNMOS(fmt.Sprintf("mnn%d_%d", r, i), drain, sel, src)
+			src = drain
+			// Pull-up: parallel PMOS per input.
+			addPMOS(fmt.Sprintf("mpn%d_%d", r, i), word, sel)
+		}
+		// Row driver inverter word -> y_r, loaded by cl.
+		y := fmt.Sprintf("y%d", r)
+		outputs[r] = y
+		addNMOS(fmt.Sprintf("mnd%d", r), y, word, "0")
+		addPMOS(fmt.Sprintf("mpd%d", r), y, word)
+		n.AddCapacitor(fmt.Sprintf("cl%d", r), y, "0", cl)
+	}
+	return n, inputs, outputs, nil
+}
