@@ -1,12 +1,13 @@
 # CI entry points for the qwm repository. `make ci` is the gate a change
-# must pass: vet, build, the full test suite under the race detector, and
-# a smoke run of the STA-parallel and solver-kernel benchmarks.
+# must pass: vet, build, the full test suite under the race detector, a
+# smoke run of the STA-parallel and solver-kernel benchmarks, and a
+# small-budget differential-verification sweep.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-full
+.PHONY: ci vet build test race bench bench-full verify verify-full
 
-ci: vet build race bench
+ci: vet build race bench verify
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +31,14 @@ bench:
 # Full benchmark sweep (regenerates every table/figure; slow).
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Small-budget differential verification: 25 seeded stage netlists checked
+# QWM-vs-SPICE, plus cached/uncached and serial/parallel equivalence (and
+# the sibling load-aliasing trap). Exits non-zero on any gate failure.
+verify:
+	$(GO) run ./cmd/verify -seed 1 -n 25 -tol 10 -o /dev/null
+
+# The acceptance-criteria sweep (200 cases, ~20 s): full JSON distribution
+# on stdout.
+verify-full:
+	$(GO) run ./cmd/verify -seed 1 -n 200 -tol 10

@@ -11,7 +11,9 @@
 // Stage evaluation is parallel: -workers sets the per-level worker-pool
 // size (0 = GOMAXPROCS, 1 = serial); results are identical for any value.
 // -cache-stats prints the sharded delay cache's hit/miss/evaluation
-// counters after the run.
+// counters after the run, plus this run's evaluation-error and
+// slew-fallback counts (with the first error per failed direction), so
+// silently degraded directions are visible.
 package main
 
 import (
@@ -94,6 +96,17 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats bool
 		cs := a.CacheStats()
 		fmt.Printf("delay cache: %d hits, %d misses, %d evaluations, %d entries\n",
 			cs.Hits, cs.Misses, cs.Evaluations, cs.Entries)
+		fmt.Printf("eval errors: %d, slew fallbacks: %d\n", res.EvalErrors, res.SlewFallbacks)
+		if len(res.EvalErrorDetail) > 0 {
+			keys := make([]string, 0, len(res.EvalErrorDetail))
+			for k := range res.EvalErrorDetail {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-16s %s\n", k, res.EvalErrorDetail[k])
+			}
+		}
 	}
 	if verbose {
 		nets := make([]string, 0, len(res.Arrivals))

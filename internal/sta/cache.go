@@ -5,12 +5,18 @@ import (
 	"sync/atomic"
 )
 
-// dirTiming is the cached QWM result for one (stage output, rail, input-slew
-// bucket) triple. ok is false when the stage has no conducting path to that
-// rail (e.g. a pass-gate structure) or the evaluation failed to converge.
+// dirTiming is the cached QWM result for one (stage content + load digest,
+// rail, input-slew bucket) key. ok is false when the stage has no conducting
+// path to that rail (e.g. a pass-gate structure) or the evaluation failed to
+// converge; errMsg then carries the failure so every Analyze consulting the
+// entry can surface it (Result.EvalErrors) instead of silently degrading.
+// slewFellBack marks entries whose slew is the conservative fallback
+// estimate rather than a measured 10–90 % transition.
 type dirTiming struct {
-	delay, slew float64
-	ok          bool
+	delay, slew  float64
+	ok           bool
+	slewFellBack bool
+	errMsg       string
 }
 
 // cacheShards is the number of independently locked shards in the delay

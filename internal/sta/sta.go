@@ -13,10 +13,13 @@
 // bit-for-bit deterministic: it returns exactly the arrivals, critical path
 // and evaluation count the serial (Workers = 1) engine does.
 //
-// Stage delays are cached by stage identity, direction and input-slew
-// bucket, so re-analysis after a local edit (the incremental-STA use case)
-// only re-evaluates the directions whose devices or input slews changed and
-// re-propagates arrivals.
+// Stage delays are cached by stage identity, direction, input-slew bucket
+// AND the stage output's load digest, so re-analysis after a local edit (the
+// incremental-STA use case) only re-evaluates the directions whose devices,
+// input slews or fanout loads changed and re-propagates arrivals. The load
+// digest matters: two structurally identical stages driving different fanout
+// must not alias to one cache entry, or the second silently inherits the
+// first's delay (see TestCacheKeyIncludesLoad).
 package sta
 
 import (
@@ -25,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -99,10 +103,38 @@ type Result struct {
 	WorstArrival float64
 	WorstOutput  string
 	// StagesEvaluated counts QWM evaluations performed during this call
-	// (cache misses; one per stage output, direction and slew bucket). The
-	// incremental path keeps this small, and it is identical for serial
-	// and parallel runs thanks to the cache's single-flight discipline.
+	// (cache misses; one per stage output, direction, slew bucket and load
+	// digest). The incremental path keeps this small, and it is identical
+	// for serial and parallel runs thanks to the cache's single-flight
+	// discipline.
 	StagesEvaluated int
+	// EvalErrors counts the stage-direction timings consulted by this
+	// Analyze whose evaluation failed (no conducting path, or a QWM
+	// convergence failure). Failed directions contribute no arrival; a
+	// cached failure counts every Analyze that consults it, so silent
+	// degradation stays visible on every run, not just the one that paid
+	// the miss.
+	EvalErrors int
+	// EvalErrorDetail maps "output~direction" to the first error message
+	// recorded for that direction during this Analyze.
+	EvalErrorDetail map[string]string
+	// SlewFallbacks counts directions whose output slew came from the
+	// conservative fallback estimate rather than a clean 10–90 %
+	// measurement (the QWM tail was truncated before the 10 % point).
+	SlewFallbacks int
+}
+
+// outEval is the per-(stage, output) evaluation context, memoized once per
+// Analyze call: the expensive stage-content key (edge sort + formatting)
+// plus the output's load map and its canonical digest. Both directions of an
+// output share one outEval, so the cache-lookup path in evalItem is reduced
+// to a cheap string concatenation — previously every lookup (hit or miss)
+// re-sorted and re-formatted the stage's edges.
+type outEval struct {
+	// contentKey is stageKey(st, out) + "|" + loadDigest(loads): everything
+	// that determines the stage's timing except direction and input slew.
+	contentKey string
+	loads      map[string]float64
 }
 
 // workItem is one independent evaluation: a stage output switching toward
@@ -112,6 +144,7 @@ type Result struct {
 type workItem struct {
 	st     *circuit.Stage
 	out    string
+	ev     *outEval
 	rail   string // circuit.GroundNode (output falls) or circuit.SupplyNode (rises)
 	inSlew float64
 	timing dirTiming
@@ -169,26 +202,34 @@ func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outpu
 	var ins []stageInputs
 	for _, level := range levels {
 		// Gather phase (sequential): the worst input arrivals per stage
-		// depend only on completed earlier levels.
+		// depend only on completed earlier levels. The per-output evaluation
+		// context (stage-content key + load digest + load map) is built here,
+		// once per (stage, output), so the parallel lookup path below does no
+		// key formatting at all.
 		ins = ins[:0]
 		items = items[:0]
 		for _, st := range level {
 			si := gatherInputs(st, res.Arrivals)
 			ins = append(ins, si)
 			for _, out := range st.Outputs {
+				ol := loads.stageLoads(st, out)
+				ev := &outEval{
+					contentKey: stageKey(st, out) + "|" + loadDigest(ol),
+					loads:      ol,
+				}
 				// An input that rises makes the pull-down conduct (output
 				// falls), and vice versa; each direction sees the slew of
 				// the edge that triggers it.
 				items = append(items,
-					workItem{st: st, out: out, rail: circuit.GroundNode, inSlew: si.riseSlew},
-					workItem{st: st, out: out, rail: circuit.SupplyNode, inSlew: si.fallSlew},
+					workItem{st: st, out: out, ev: ev, rail: circuit.GroundNode, inSlew: si.riseSlew},
+					workItem{st: st, out: out, ev: ev, rail: circuit.SupplyNode, inSlew: si.fallSlew},
 				)
 			}
 		}
 
 		// Evaluate phase (parallel): drain the level's items through the
 		// worker pool; the single-flight cache deduplicates identical keys.
-		a.runItems(items, loads, workers)
+		a.runItems(items, workers)
 
 		// Apply phase (sequential, deterministic): fold results into
 		// arrivals in stage/output order, exactly as the serial engine.
@@ -198,6 +239,7 @@ func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outpu
 			for _, out := range st.Outputs {
 				fall, rise := items[k].timing, items[k+1].timing
 				k += 2
+				res.recordEvalIssues(out, fall, rise)
 				if !fall.ok && !rise.ok {
 					return nil, fmt.Errorf("sta: stage %s output %q has neither pull-up nor pull-down path", st.Name, out)
 				}
@@ -253,6 +295,31 @@ func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outpu
 	return res, nil
 }
 
+// recordEvalIssues folds one output's direction timings into the Result's
+// error and fallback accounting. It runs in the sequential apply phase, so
+// no synchronization is needed, and it sees cached failures too — every
+// Analyze that consults a failed direction reports it.
+func (r *Result) recordEvalIssues(out string, fall, rise dirTiming) {
+	for _, d := range [2]struct {
+		name string
+		t    dirTiming
+	}{{"fall", fall}, {"rise", rise}} {
+		if d.t.errMsg != "" {
+			r.EvalErrors++
+			k := out + "~" + d.name
+			if r.EvalErrorDetail == nil {
+				r.EvalErrorDetail = map[string]string{}
+			}
+			if _, dup := r.EvalErrorDetail[k]; !dup {
+				r.EvalErrorDetail[k] = d.t.errMsg
+			}
+		}
+		if d.t.slewFellBack {
+			r.SlewFallbacks++
+		}
+	}
+}
+
 // gatherInputs computes the worst-case input arrivals/slews for one stage.
 // An input with no recorded arrival is unconstrained: it arrives at t = 0
 // as an ideal step.
@@ -273,13 +340,13 @@ func gatherInputs(st *circuit.Stage, arrivals map[string]Arrival) stageInputs {
 // runItems evaluates every work item, using up to workers goroutines. With
 // one worker (or one item) it stays on the calling goroutine — the serial
 // reference path.
-func (a *Analyzer) runItems(items []workItem, loads *loadIndex, workers int) {
+func (a *Analyzer) runItems(items []workItem, workers int) {
 	if workers > len(items) {
 		workers = len(items)
 	}
 	if workers <= 1 || len(items) <= 1 {
 		for i := range items {
-			a.evalItem(&items[i], loads)
+			a.evalItem(&items[i])
 		}
 		return
 	}
@@ -294,7 +361,7 @@ func (a *Analyzer) runItems(items []workItem, loads *loadIndex, workers int) {
 				if i >= len(items) {
 					return
 				}
-				a.evalItem(&items[i], loads)
+				a.evalItem(&items[i])
 			}
 		}()
 	}
@@ -302,19 +369,23 @@ func (a *Analyzer) runItems(items []workItem, loads *loadIndex, workers int) {
 }
 
 // evalItem resolves one work item through the delay cache, computing the
-// direction timing on a miss.
-func (a *Analyzer) evalItem(it *workItem, loads *loadIndex) {
-	key := stageKey(it.st, it.out) + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
+// direction timing on a miss. The cache key is the memoized stage-content +
+// load-digest key plus the direction (rail) and input-slew bucket; omitting
+// the load digest was the aliasing bug that let structurally identical
+// stages with different fanout share one entry.
+func (a *Analyzer) evalItem(it *workItem) {
+	key := it.ev.contentKey + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
 	it.timing = a.cache.getOrCompute(key, func() dirTiming {
 		a.cache.evals.Add(1)
-		r, err := a.evalDirection(it.st, it.out, it.rail, loads.stageLoads(it.st, it.out), it.inSlew)
+		r, err := a.evalDirection(it.st, it.out, it.rail, it.ev.loads, it.inSlew)
 		if err != nil {
 			// No conducting path to this rail, or the evaluation failed:
-			// the direction simply contributes no arrival (the apply phase
-			// errors only if both directions are missing).
-			return dirTiming{}
+			// the direction contributes no arrival (the apply phase errors
+			// only if both directions are missing) but the failure is
+			// recorded on the Result instead of being swallowed.
+			return dirTiming{errMsg: err.Error()}
 		}
-		return dirTiming{delay: r.delay, slew: r.slew, ok: true}
+		return dirTiming{delay: r.delay, slew: r.slew, slewFellBack: r.slewFellBack, ok: true}
 	})
 }
 
@@ -328,7 +399,10 @@ func slewBucket(s float64) int {
 	return int(math.Floor(s / pitch))
 }
 
-type dirResult struct{ delay, slew float64 }
+type dirResult struct {
+	delay, slew  float64
+	slewFellBack bool
+}
 
 // evalDirection evaluates the worst path to one rail with the canonical
 // worst-case stimulus: the rail-side input switches at t = 0 — as an ideal
@@ -384,8 +458,39 @@ func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[
 		return dirResult{}, err
 	}
 	folded := res.Folded[len(res.Folded)-1]
-	slew, _ := wave.Slew(folded, vdd, false)
+	slew, serr := wave.Slew(folded, vdd, false)
+	if serr != nil {
+		// The folded tail was truncated before the 10 % point (see
+		// Result.TailTruncated in internal/qwm). The old code discarded the
+		// error and propagated slew = 0, so the next stage saw an ideal step
+		// and reported optimistic delays. Substitute a conservative
+		// (pessimistic) estimate instead and flag the fallback.
+		return dirResult{delay: d, slew: fallbackSlew(folded, vdd, inSlew, d), slewFellBack: true}, nil
+	}
 	return dirResult{delay: d, slew: slew}, nil
+}
+
+// fallbackSlew derives a conservative 10–90 % transition-time estimate for a
+// folded (falling) waveform that never reaches the 10 % point. Preference
+// order: scale the inner 70→30 % chord by 0.8/0.4 = 2 (exact for a linear
+// ramp, pessimistic for the decaying tails CMOS stages produce); if even
+// that span is unavailable, fall back to the larger of the input slew and
+// twice the 50 % delay. The result is always positive — never the silent 0
+// that made downstream stages see an ideal step.
+func fallbackSlew(w wave.Crosser, vdd, inSlew, delay float64) float64 {
+	t70, ok1 := w.Crossing(0.7*vdd, false)
+	t30, ok2 := w.Crossing(0.3*vdd, false)
+	if ok1 && ok2 && t30 > t70 {
+		return 2 * (t30 - t70)
+	}
+	est := 2 * delay
+	if inSlew > est {
+		est = inSlew
+	}
+	if est <= 0 {
+		est = 1e-12 // degenerate zero-delay case: still not an ideal step
+	}
+	return est
 }
 
 // loadIndex is the per-Analyze fanout index: net → summed gate capacitance
@@ -438,6 +543,32 @@ func (ix *loadIndex) stageLoads(st *circuit.Stage, out string) map[string]float6
 		}
 	}
 	return loads
+}
+
+// loadDigest canonically encodes a stage output's load map — the third
+// input to evalDirection after stage content and stimulus — as sorted
+// node:cap pairs at fixed precision (6 significant digits; load differences
+// below that are far under timing resolution and should share an entry).
+// Two structurally identical stages driving different fanout get different
+// digests and therefore distinct cache entries; omitting this from the key
+// made the second stage silently inherit the first's delay.
+func loadDigest(loads map[string]float64) string {
+	if len(loads) == 0 {
+		return ""
+	}
+	nodes := make([]string, 0, len(loads))
+	for n := range loads {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var b strings.Builder
+	for _, n := range nodes {
+		b.WriteString(n)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(loads[n], 'e', 6, 64))
+		b.WriteByte(',')
+	}
+	return b.String()
 }
 
 // stageKey identifies a stage's timing-relevant content: its devices,

@@ -1,0 +1,93 @@
+package stages
+
+import (
+	"testing"
+
+	"qwm/internal/circuit"
+)
+
+func TestCustomStackNMOS(t *testing.T) {
+	w, err := CustomStack(tech, StackSpec{
+		Widths:   []float64{1e-6, 2e-6, 3e-6},
+		Lengths:  []float64{tech.LMin, 1.5 * tech.LMin, tech.LMin},
+		NodeCaps: []float64{2e-15, 0, 1e-15},
+		CL:       10e-15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Path.Transistors() != 3 {
+		t.Errorf("K = %d, want 3", w.Path.Transistors())
+	}
+	if w.Rail != circuit.GroundNode || w.Rising {
+		t.Errorf("NMOS stack should discharge: rail %q rising %v", w.Rail, w.Rising)
+	}
+	// Internal caps land on the right nodes and in the shared load map.
+	if w.Loads["x1"] != 2e-15 {
+		t.Errorf("x1 load = %g, want 2 fF", w.Loads["x1"])
+	}
+	if w.Loads["out"] != 11e-15 {
+		t.Errorf("out load = %g, want CL + node cap = 11 fF", w.Loads["out"])
+	}
+	// Per-device lengths survive into the netlist.
+	if got := w.Netlist.Transistors[1].L; got != 1.5*tech.LMin {
+		t.Errorf("device 1 length = %g, want 1.5·LMin", got)
+	}
+	for _, nd := range w.Path.InternalNodes() {
+		if w.IC[nd] != tech.VDD {
+			t.Errorf("node %s not precharged", nd)
+		}
+	}
+}
+
+func TestCustomStackPMOS(t *testing.T) {
+	w, err := CustomStack(tech, StackSpec{
+		PMOS:   true,
+		Widths: []float64{2e-6, 4e-6},
+		CL:     8e-15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Rail != circuit.SupplyNode || !w.Rising {
+		t.Errorf("PMOS stack should charge: rail %q rising %v", w.Rail, w.Rising)
+	}
+	for _, nd := range w.Path.InternalNodes() {
+		if w.IC[nd] != 0 {
+			t.Errorf("node %s not pre-discharged (ic %g)", nd, w.IC[nd])
+		}
+	}
+	// The switching gate falls for PMOS.
+	sw := w.Inputs["in0"]
+	if sw.Eval(-1) <= sw.Eval(1) {
+		t.Errorf("PMOS switching gate should fall: v(-1)=%g v(1)=%g", sw.Eval(-1), sw.Eval(1))
+	}
+}
+
+func TestCustomStackRampInput(t *testing.T) {
+	w, err := CustomStack(tech, StackSpec{
+		Widths: []float64{1.5e-6},
+		CL:     5e-15,
+		InSlew: 80e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay reference moves to the ramp midpoint.
+	want := 1.25 * 80e-12 / 2
+	if d := w.SwitchAt - want; d > 1e-15 || d < -1e-15 {
+		t.Errorf("SwitchAt = %g, want ramp midpoint %g", w.SwitchAt, want)
+	}
+}
+
+func TestCustomStackErrors(t *testing.T) {
+	if _, err := CustomStack(tech, StackSpec{}); err == nil {
+		t.Error("empty stack accepted")
+	}
+	if _, err := CustomStack(tech, StackSpec{Widths: []float64{1e-6}, Lengths: []float64{1, 2}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := CustomStack(tech, StackSpec{Widths: []float64{1e-6}, NodeCaps: []float64{1, 2}}); err == nil {
+		t.Error("mismatched node caps accepted")
+	}
+}

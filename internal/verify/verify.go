@@ -1,0 +1,110 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qwm/internal/bench"
+	"qwm/internal/mos"
+)
+
+// Config parameterizes one differential-verification run.
+type Config struct {
+	// Seed makes the whole run reproducible: identical (Seed, N) always
+	// generates identical cases and identical reports.
+	Seed int64
+	// N is the number of generated single-stage QWM-vs-SPICE cases.
+	N int
+	// TolPct is the per-case delay-error tolerance in percent (cases above
+	// it are counted as tolerance failures). Default 10.
+	TolPct float64
+	// AnalyzeN and PairN are the full-Analyze equivalence and
+	// sibling-aliasing case counts; 0 derives them from N (N/5 and N/10,
+	// floors 4 and 2).
+	AnalyzeN, PairN int
+	// Workers is the parallel worker count for the serial-vs-parallel
+	// differential. Default 8.
+	Workers int
+	// Progress, when set, receives one line per completed case.
+	Progress func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 50
+	}
+	if c.TolPct <= 0 {
+		c.TolPct = 10
+	}
+	if c.AnalyzeN <= 0 {
+		c.AnalyzeN = c.N / 5
+		if c.AnalyzeN < 4 {
+			c.AnalyzeN = 4
+		}
+	}
+	if c.PairN <= 0 {
+		c.PairN = c.N / 10
+		if c.PairN < 2 {
+			c.PairN = 2
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Run executes the three differentials — per-stage QWM-vs-SPICE,
+// cached-vs-uncached Analyze, serial-vs-parallel Analyze (plus the
+// shared-cache sibling aliasing trap) — and returns the finalized report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	tech := mos.CMOSP35()
+	h, err := bench.NewHarness(tech)
+	if err != nil {
+		return nil, fmt.Errorf("verify: harness: %w", err)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{Seed: cfg.Seed, N: cfg.N, TolPct: cfg.TolPct}
+
+	for i := 0; i < cfg.N; i++ {
+		c, err := GenStageCase(tech, r, i)
+		if err != nil {
+			return nil, fmt.Errorf("verify: generate stage case %d: %w", i, err)
+		}
+		d := RunStageDiff(h, c, cfg.TolPct)
+		rep.Stage = append(rep.Stage, d)
+		if cfg.Progress != nil {
+			cfg.Progress("stage %s: err %.2f%% (qwm %.1f ps, spice %.1f ps) %s",
+				d.Name, d.DelayErrPct, d.QWMDelay*1e12, d.SpiceDelay*1e12, passMark(d.Pass, d.Err))
+		}
+	}
+	for i := 0; i < cfg.AnalyzeN; i++ {
+		c := GenAnalyzeCase(tech, r, i)
+		d := RunAnalyzeDiff(tech, h.Lib, c, cfg.Workers)
+		rep.Analyze = append(rep.Analyze, d)
+		if cfg.Progress != nil {
+			cfg.Progress("analyze %s: %s", d.Name, passMark(d.Pass, d.Err))
+		}
+	}
+	for i := 0; i < cfg.PairN; i++ {
+		p := GenSiblingPair(tech, r, i)
+		d := RunSiblingDiff(tech, h.Lib, p, cfg.Workers)
+		rep.Sibling = append(rep.Sibling, d)
+		if cfg.Progress != nil {
+			cfg.Progress("sibling %s: %s", d.Name, passMark(d.Pass, d.Err))
+		}
+	}
+	rep.Finalize()
+	return rep, nil
+}
+
+func passMark(pass bool, errMsg string) string {
+	if errMsg != "" {
+		return "ERROR " + errMsg
+	}
+	if pass {
+		return "ok"
+	}
+	return "FAIL"
+}
