@@ -1,13 +1,14 @@
 # CI entry points for the qwm repository. `make ci` is the gate a change
-# must pass: vet, build, the full test suite under the race detector, a
-# smoke run of the STA-parallel and solver-kernel benchmarks, and a
-# small-budget differential-verification sweep.
+# must pass: vet, build, the targeted observability race suite, the full
+# test suite under the race detector, a smoke run of the STA-parallel,
+# solver-kernel and observed-analyze benchmarks, and a small-budget
+# differential-verification sweep.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-full verify verify-full
+.PHONY: ci vet build test race race-obs bench bench-full verify verify-full
 
-ci: vet build race bench verify
+ci: vet build race-obs race bench verify
 
 vet:
 	$(GO) vet ./...
@@ -23,10 +24,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Targeted race pass over the observability-critical packages: the sta
+# worker pool delivering concurrent StageEval events and the sharded
+# metrics registry. Fast enough to run first, before the full race sweep.
+race-obs:
+	$(GO) test -race ./internal/sta/... ./internal/obs/...
+
 # One-iteration smoke of the perf-critical benchmarks: the parallel STA
-# engine at every worker width and the in-place linear-solver kernels.
+# engine at every worker width, the in-place linear-solver kernels, and the
+# observability-overhead comparison (bare vs observer vs metrics).
 bench:
 	$(GO) test -run '^$$' -bench 'STAParallel|SolverKernels' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'AnalyzeObserved|WarmCacheLookup' -benchtime 1x -benchmem ./internal/sta/
 
 # Full benchmark sweep (regenerates every table/figure; slow).
 bench-full:

@@ -35,15 +35,16 @@ func main() {
 		stepStr  = flag.String("step", "1p", "integration step for spice/sc")
 		printW   = flag.Bool("waveform", false, "print the output waveform samples")
 		points   = flag.Int("points", 101, "waveform sample count with -waveform")
+		trace    = flag.Bool("trace", false, "print one structured line per QWM region to stderr")
 	)
 	flag.Parse()
-	if err := run(*deckPath, *out, *rail, *engine, *stepStr, *printW, *points); err != nil {
+	if err := run(*deckPath, *out, *rail, *engine, *stepStr, *printW, *points, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "qwm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deckPath, out, rail, engine, stepStr string, printW bool, points int) error {
+func run(deckPath, out, rail, engine, stepStr string, printW bool, points int, trace bool) error {
 	in := os.Stdin
 	if deckPath != "" {
 		f, err := os.Open(deckPath)
@@ -78,7 +79,15 @@ func run(deckPath, out, rail, engine, stepStr string, printW bool, points int) e
 	var output wave.Waveform
 	switch engine {
 	case "qwm":
-		r, err := h.RunQWM(w, qwm.Options{})
+		opts := qwm.Options{}
+		if trace {
+			// The structured region events, rendered through the printf
+			// adapter — the replacement for the deleted Options.Trace hook.
+			opts.Events = qwm.PrintfSink{Printf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}}
+		}
+		r, err := h.RunQWM(w, opts)
 		if err != nil {
 			return err
 		}

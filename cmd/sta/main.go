@@ -11,12 +11,15 @@
 // Stage evaluation is parallel: -workers sets the per-level worker-pool
 // size (0 = GOMAXPROCS, 1 = serial); results are identical for any value.
 // -cache-stats prints the sharded delay cache's hit/miss/evaluation
-// counters after the run, plus this run's evaluation-error and
-// slew-fallback counts (with the first error per failed direction), so
-// silently degraded directions are visible.
+// counters after the run, plus this run's diagnostics (evaluation-error and
+// slew-fallback counts, with the first error per failed direction), so
+// silently degraded directions are visible. -metrics-json dumps the metrics
+// registry — counters plus NR-iteration, region-count and latency
+// histograms — as JSON on stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ import (
 	"qwm/internal/devmodel"
 	"qwm/internal/mos"
 	"qwm/internal/netlist"
+	"qwm/internal/obs"
 	"qwm/internal/sta"
 )
 
@@ -37,15 +41,16 @@ func main() {
 		verbose  = flag.Bool("v", false, "print the arrival of every net")
 		workers  = flag.Int("workers", 0, "stage evaluations in flight per level (0 = GOMAXPROCS, 1 = serial)")
 		stats    = flag.Bool("cache-stats", false, "print delay-cache hit/miss/evaluation counters")
+		metrics  = flag.Bool("metrics-json", false, "dump the metrics registry (counters + histograms) as JSON")
 	)
 	flag.Parse()
-	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, *stats); err != nil {
+	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, *stats, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "sta:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deckPath, inputs, outputs string, verbose bool, workers int, stats bool) error {
+func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, metricsJSON bool) error {
 	in := os.Stdin
 	if deckPath != "" {
 		f, err := os.Open(deckPath)
@@ -84,7 +89,13 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats bool
 	tech := mos.CMOSP35()
 	a := sta.New(tech, devmodel.NewLibrary(tech))
 	a.Workers = workers
-	res, err := a.Analyze(deck.Netlist, primary, outs)
+	if metricsJSON {
+		a.Metrics = obs.NewRegistry()
+		a.Metrics.Publish("sta")
+	}
+	res, err := a.AnalyzeContext(context.Background(), sta.Request{
+		Netlist: deck.Netlist, Primary: primary, Outputs: outs,
+	})
 	if err != nil {
 		return err
 	}
@@ -96,17 +107,14 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats bool
 		cs := a.CacheStats()
 		fmt.Printf("delay cache: %d hits, %d misses, %d evaluations, %d entries\n",
 			cs.Hits, cs.Misses, cs.Evaluations, cs.Entries)
-		fmt.Printf("eval errors: %d, slew fallbacks: %d\n", res.EvalErrors, res.SlewFallbacks)
-		if len(res.EvalErrorDetail) > 0 {
-			keys := make([]string, 0, len(res.EvalErrorDetail))
-			for k := range res.EvalErrorDetail {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("  %-16s %s\n", k, res.EvalErrorDetail[k])
-			}
+		fmt.Printf("diagnostics: %s\n", res.Diagnostics)
+	}
+	if metricsJSON {
+		js, jerr := a.Metrics.Snapshot().JSON()
+		if jerr != nil {
+			return jerr
 		}
+		fmt.Println(string(js))
 	}
 	if verbose {
 		nets := make([]string, 0, len(res.Arrivals))

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"qwm/internal/obs"
 	"qwm/internal/verify"
 )
 
@@ -31,20 +32,24 @@ func main() {
 		workers = flag.Int("workers", 8, "worker count for the serial-vs-parallel differential")
 		outPath = flag.String("o", "", "write the JSON report to this file (default: stdout)")
 		verbose = flag.Bool("v", false, "print per-case progress to stderr")
+		metrics = flag.Bool("metrics-json", false, "collect STA engine metrics across the sweep and embed the snapshot in the report")
 	)
 	flag.Parse()
-	if err := run(*seed, *n, *tol, *workers, *outPath, *verbose); err != nil {
+	if err := run(*seed, *n, *tol, *workers, *outPath, *verbose, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, n int, tol float64, workers int, outPath string, verbose bool) error {
+func run(seed int64, n int, tol float64, workers int, outPath string, verbose, metrics bool) error {
 	cfg := verify.Config{Seed: seed, N: n, TolPct: tol, Workers: workers}
 	if verbose {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if metrics {
+		cfg.Metrics = obs.NewRegistry()
 	}
 	rep, err := verify.Run(cfg)
 	if err != nil {

@@ -1,0 +1,364 @@
+// Package obs is the observability layer of the STA engine: a lock-sharded
+// metrics registry (atomic counters and fixed-bucket histograms with
+// snapshot/merge/JSON export, publishable on expvar) plus the structured
+// Observer/span interface the sta layer emits per-Analyze events through.
+//
+// The package is dependency-free (standard library only) and designed so
+// that an unused registry or a nil Observer costs nothing on the engine's
+// hot paths: every instrument is an atomic word or two, resolution of a
+// metric by name happens once per Analyze, and the sta layer never even
+// reads the clock unless an observer or registry is attached.
+//
+// Determinism contract: metric names containing the segment "time/" hold
+// wall-clock observations and are inherently non-reproducible; everything
+// else (counters, iteration/region histograms) is required to be
+// bit-for-bit identical for serial and parallel runs of the same analysis.
+// Snapshot.Deterministic strips the timing subset so that guarantee can be
+// asserted byte-for-byte (see Snapshot.JSON).
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a valid no-op instrument, so callers may
+// hold optional counters without branching.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic buckets. Bucket i
+// counts observations v with bounds[i-1] < v <= bounds[i] (the first bucket
+// has no lower bound); one extra overflow bucket counts v > bounds[last].
+// Concurrent Observe calls are safe and lock-free.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given strictly increasing upper
+// bounds. It panics on empty or non-increasing bounds — histogram shapes
+// are static configuration, and a malformed shape is a programming error.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First index with bounds[i] >= v: the "less-or-equal" bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	return b
+}
+
+// snapshot copies the histogram's current state.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.Bounds(),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// atomicFloat is a CAS-loop float64 accumulator.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// regShards is the shard count of the registry's name → metric maps. Metric
+// resolution happens once per Analyze (handles are then held directly), so
+// the shards only defend registration-time contention; 16 is plenty.
+const regShards = 16
+
+// Registry is a lock-sharded collection of named counters and histograms.
+// Counter/Histogram are get-or-create and safe for concurrent use; the
+// returned instruments are updated with atomics only, so the hot path never
+// touches the registry locks.
+type Registry struct {
+	shards [regShards]regShard
+}
+
+type regShard struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].counters = map[string]*Counter{}
+		r.shards[i].hists = map[string]*Histogram{}
+	}
+	return r
+}
+
+func (r *Registry) shard(name string) *regShard {
+	// FNV-1a, inlined (mirrors the sta delay cache's shard selection).
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &r.shards[h%regShards]
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	sh := r.shard(name)
+	sh.mu.RLock()
+	c := sh.counters[name]
+	sh.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c = sh.counters[name]; c == nil {
+		c = &Counter{}
+		sh.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use. Re-registering an existing histogram with
+// different bounds panics: a name must mean one shape for Merge to be
+// well defined. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	sh := r.shard(name)
+	sh.mu.RLock()
+	h := sh.hists[name]
+	sh.mu.RUnlock()
+	if h == nil {
+		sh.mu.Lock()
+		if h = sh.hists[name]; h == nil {
+			h = NewHistogram(bounds)
+			sh.hists[name] = h
+			sh.mu.Unlock()
+			return h
+		}
+		sh.mu.Unlock()
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	for i := range bounds {
+		if h.bounds[i] != bounds[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+	}
+	return h
+}
+
+// HistSnapshot is the frozen state of one histogram. Counts has one entry
+// per bound plus a final overflow bucket.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a frozen copy of a registry: plain maps, safe to marshal,
+// merge and diff. encoding/json sorts map keys, so two snapshots with equal
+// contents marshal to byte-identical JSON — the property the engine's
+// serial-vs-parallel determinism check is asserted on.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+	if r == nil {
+		return s
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name, c := range sh.counters {
+			s.Counters[name] = c.Value()
+		}
+		for name, h := range sh.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// Merge adds other into s (counter sums, bucket-wise histogram sums).
+// Histograms present in both must share bounds; a shape mismatch is
+// reported as an error and leaves that histogram untouched.
+func (s Snapshot) Merge(other Snapshot) error {
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	var firstErr error
+	for name, oh := range other.Histograms {
+		h, ok := s.Histograms[name]
+		if !ok {
+			// Deep-copy so later merges cannot alias other's slices.
+			cp := HistSnapshot{
+				Bounds: append([]float64(nil), oh.Bounds...),
+				Counts: append([]int64(nil), oh.Counts...),
+				Count:  oh.Count,
+				Sum:    oh.Sum,
+			}
+			s.Histograms[name] = cp
+			continue
+		}
+		if !equalBounds(h.Bounds, oh.Bounds) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("obs: merge: histogram %q bounds differ", name)
+			}
+			continue
+		}
+		for i := range h.Counts {
+			h.Counts[i] += oh.Counts[i]
+		}
+		h.Count += oh.Count
+		h.Sum += oh.Sum
+		s.Histograms[name] = h
+	}
+	return firstErr
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTiming reports whether a metric name holds wall-clock observations —
+// by convention any name containing the path segment "time/". Timing
+// metrics are excluded from the determinism guarantee (two runs never see
+// the same nanoseconds) and from Deterministic snapshots.
+func IsTiming(name string) bool { return strings.Contains(name, "time/") }
+
+// Filter returns a snapshot containing only the metrics keep accepts.
+func (s Snapshot) Filter(keep func(name string) bool) Snapshot {
+	out := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+	for name, v := range s.Counters {
+		if keep(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		if keep(name) {
+			out.Histograms[name] = h
+		}
+	}
+	return out
+}
+
+// Deterministic strips the timing metrics, leaving the subset that is
+// required to be bit-for-bit identical across worker counts.
+func (s Snapshot) Deterministic() Snapshot {
+	return s.Filter(func(name string) bool { return !IsTiming(name) })
+}
+
+// JSON marshals the snapshot with sorted keys and stable indentation.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// publishMu serializes Publish calls: expvar.Publish panics on duplicate
+// names, and expvar has no unpublish, so the guard has to live here.
+var publishMu sync.Mutex
+
+// Publish registers the registry on the process-wide expvar namespace under
+// name; /debug/vars then serves live snapshots. Publishing the same name
+// twice is a no-op (the first registration wins), so CLI tools and tests
+// can call it unconditionally.
+func (r *Registry) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket rule: bucket i counts
+// bounds[i-1] < v <= bounds[i] ("less-or-equal" upper bounds), with a final
+// overflow bucket for v > bounds[last]. Exact-boundary values land in the
+// bucket they bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 5, 10}
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{-3, 0},   // below every bound: first bucket
+		{0, 0},
+		{1, 0},    // exactly on a bound: that bucket
+		{1.0001, 1},
+		{2, 1},
+		{2.5, 2},
+		{5, 2},
+		{5.1, 3},
+		{10, 3},
+		{10.0001, 4}, // overflow
+		{1e9, 4},
+	}
+	for _, c := range cases {
+		h := NewHistogram(bounds)
+		h.Observe(c.v)
+		s := h.snapshot()
+		for i, n := range s.Counts {
+			want := int64(0)
+			if i == c.want {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%g): bucket %d = %d, want %d (expected bucket %d)", c.v, i, n, want, c.want)
+			}
+		}
+		if s.Count != 1 || s.Sum != c.v {
+			t.Errorf("Observe(%g): count %d sum %g", c.v, s.Count, s.Sum)
+		}
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}, {1, 3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestSnapshotMerge is table-driven over the merge cases: disjoint names,
+// shared counters, shared histograms (bucket-wise sums) and a histogram
+// shape mismatch (reported, not silently merged).
+func TestSnapshotMerge(t *testing.T) {
+	mkHist := func(bounds []float64, vals ...float64) HistSnapshot {
+		h := NewHistogram(bounds)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h.snapshot()
+	}
+	cases := []struct {
+		name        string
+		a, b        Snapshot
+		wantCounter map[string]int64
+		wantHist    map[string][]int64 // expected bucket counts
+		wantErr     bool
+	}{
+		{
+			name:        "disjoint counters",
+			a:           Snapshot{Counters: map[string]int64{"x": 1}, Histograms: map[string]HistSnapshot{}},
+			b:           Snapshot{Counters: map[string]int64{"y": 2}, Histograms: map[string]HistSnapshot{}},
+			wantCounter: map[string]int64{"x": 1, "y": 2},
+		},
+		{
+			name:        "shared counters add",
+			a:           Snapshot{Counters: map[string]int64{"x": 3}, Histograms: map[string]HistSnapshot{}},
+			b:           Snapshot{Counters: map[string]int64{"x": 4}, Histograms: map[string]HistSnapshot{}},
+			wantCounter: map[string]int64{"x": 7},
+		},
+		{
+			name: "histograms add bucket-wise",
+			a: Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{
+				"h": mkHist([]float64{1, 2}, 0.5, 1.5),
+			}},
+			b: Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{
+				"h": mkHist([]float64{1, 2}, 1.5, 99),
+			}},
+			wantHist: map[string][]int64{"h": {1, 2, 1}},
+		},
+		{
+			name: "histogram only in other is copied",
+			a:    Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}},
+			b: Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{
+				"h": mkHist([]float64{1}, 0.5),
+			}},
+			wantHist: map[string][]int64{"h": {1, 0}},
+		},
+		{
+			name: "bounds mismatch errors",
+			a: Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{
+				"h": mkHist([]float64{1, 2}, 0.5),
+			}},
+			b: Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{
+				"h": mkHist([]float64{1, 3}, 0.5),
+			}},
+			wantHist: map[string][]int64{"h": {1, 0, 0}}, // untouched
+			wantErr:  true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.a.Merge(c.b)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("Merge error = %v, wantErr %v", err, c.wantErr)
+			}
+			for name, want := range c.wantCounter {
+				if got := c.a.Counters[name]; got != want {
+					t.Errorf("counter %q = %d, want %d", name, got, want)
+				}
+			}
+			for name, want := range c.wantHist {
+				got := c.a.Histograms[name]
+				if len(got.Counts) != len(want) {
+					t.Fatalf("hist %q counts %v, want %v", name, got.Counts, want)
+				}
+				for i := range want {
+					if got.Counts[i] != want[i] {
+						t.Errorf("hist %q bucket %d = %d, want %d", name, i, got.Counts[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeCopyDoesNotAlias: a histogram copied wholesale into the target
+// must not share slices with the source — later merges into the target must
+// leave the source untouched.
+func TestMergeCopyDoesNotAlias(t *testing.T) {
+	src := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	src.Histograms["h"] = h.snapshot()
+
+	dst := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSnapshot{}}
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Histograms["h"].Counts[0]; got != 1 {
+		t.Errorf("source histogram mutated by merge: bucket 0 = %d, want 1", got)
+	}
+	if got := dst.Histograms["h"].Counts[0]; got != 2 {
+		t.Errorf("dst bucket 0 = %d, want 2", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a/b")
+	c1.Add(2)
+	if c2 := r.Counter("a/b"); c2 != c1 {
+		t.Error("Counter did not return the same instrument for the same name")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	if h2 := r.Histogram("h", []float64{1, 2}); h2 != h1 {
+		t.Error("Histogram did not return the same instrument for the same name")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering a histogram with different bounds did not panic")
+			}
+		}()
+		r.Histogram("h", []float64{1, 3})
+	}()
+	// A nil registry hands out no-op instruments.
+	var nr *Registry
+	nr.Counter("x").Inc()
+	nr.Histogram("y", []float64{1}).Observe(1)
+	if got := nr.Snapshot(); len(got.Counters) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", got)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter(fmt.Sprintf("c%d", i%7)).Inc()
+				r.Histogram("shared", []float64{10, 100}).Observe(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for i := 0; i < 7; i++ {
+		total += s.Counters[fmt.Sprintf("c%d", i)]
+	}
+	if total != 8000 {
+		t.Errorf("counter total %d, want 8000", total)
+	}
+	if s.Histograms["shared"].Count != 8000 {
+		t.Errorf("histogram count %d, want 8000", s.Histograms["shared"].Count)
+	}
+}
+
+// TestSnapshotJSONDeterministic: equal snapshots marshal to byte-identical
+// JSON (encoding/json sorts map keys) — the property the engine's
+// serial-vs-parallel metrics check relies on — and the output is valid JSON.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Counter("z/last").Add(3)
+		r.Counter("a/first").Add(1)
+		r.Histogram("m/h", []float64{1, 2}).Observe(1.5)
+		return r.Snapshot()
+	}
+	j1, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("equal snapshots marshaled differently:\n%s\nvs\n%s", j1, j2)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(j1, &parsed); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+}
+
+func TestDeterministicStripsTimingMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sta/cache_hits").Add(5)
+	r.Histogram("sta/time/eval_seconds", []float64{1e-3}).Observe(1e-4)
+	r.Histogram("sta/nr_iters_per_eval", []float64{8}).Observe(3)
+	d := r.Snapshot().Deterministic()
+	if _, ok := d.Histograms["sta/time/eval_seconds"]; ok {
+		t.Error("Deterministic kept a time/ histogram")
+	}
+	if _, ok := d.Histograms["sta/nr_iters_per_eval"]; !ok {
+		t.Error("Deterministic dropped a non-timing histogram")
+	}
+	if d.Counters["sta/cache_hits"] != 5 {
+		t.Error("Deterministic dropped a counter")
+	}
+	if !IsTiming("sta/time/level_seconds") || IsTiming("sta/cache_hits") {
+		t.Error("IsTiming convention broken")
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("published").Add(9)
+	r.Publish("obs_test_registry")
+	r.Publish("obs_test_registry") // duplicate must not panic
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published on expvar")
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &parsed); err != nil {
+		t.Fatalf("expvar value is not a JSON snapshot: %v", err)
+	}
+	if parsed.Counters["published"] != 9 {
+		t.Errorf("expvar snapshot counter = %d, want 9", parsed.Counters["published"])
+	}
+}

@@ -41,8 +41,10 @@ type Options struct {
 	// Kept as an ablation — it is where the quadratic model's advantage over
 	// the linear one shows.
 	NoSubdivision bool
-	// Trace, when set, receives a line per region for diagnostics.
-	Trace func(format string, args ...any)
+	// Events, when set, receives one structured Event per committed region
+	// (see EventSink; PrintfSink recovers the old printf trace lines). A
+	// nil sink costs nothing: no Event is constructed on the hot path.
+	Events EventSink
 }
 
 func (o *Options) withDefaults(k int) Options {
@@ -64,6 +66,27 @@ func (o *Options) withDefaults(k int) Options {
 	return out
 }
 
+// Stats is the per-evaluation solver accounting: how many regions the
+// transient decomposed into, the total Newton iterations across every
+// region solve (joint and inner), how often the tridiagonal Thomas sweep
+// hit a near-zero pivot and recovered through the dense-LU workspace, and
+// how many secant-capacitance re-solves ran. All four are counted in the
+// engine's pooled state, so instrumenting an evaluation allocates nothing.
+type Stats struct {
+	// Regions is the number of committed regions (turn-ons, level
+	// crossings and time-capped subdivisions).
+	Regions int
+	// NRIters is the total Newton iterations across all region solves,
+	// including the bisection fallback's inner α solves.
+	NRIters int
+	// DenseFallbacks counts Thomas-pivot breakdowns recovered by the
+	// in-scratch dense LU solve (plus every solve when UseDenseLU is set).
+	DenseFallbacks int
+	// CapResolves counts secant-capacitance second passes (zero when
+	// FreezeCaps is set).
+	CapResolves int
+}
+
 // Result is a QWM evaluation outcome.
 type Result struct {
 	// Folded holds the piecewise-quadratic waveform of each chain node
@@ -75,9 +98,17 @@ type Result struct {
 	Output *wave.PWQ
 	// CriticalTimes are the region boundaries (the τ values of paper Fig. 9).
 	CriticalTimes []float64
-	Regions       int
-	NRIterations  int
-	DeviceEvals   int
+	// Stats is the solver accounting for this evaluation.
+	Stats Stats
+	// Regions mirrors Stats.Regions.
+	//
+	// Deprecated: read Stats.Regions.
+	Regions int
+	// NRIterations mirrors Stats.NRIters.
+	//
+	// Deprecated: read Stats.NRIters.
+	NRIterations int
+	DeviceEvals  int
 	// TailTruncated reports that a deep-tail final region (below 0.35·VDD)
 	// failed to converge and the waveform was truncated there; the 50 %
 	// delay point is unaffected.
@@ -176,7 +207,7 @@ func (e *engine) run() (*Result, error) {
 
 	// Turn-on regions: one per remaining off transistor.
 	for e.front < m {
-		if e.res.Regions >= o.MaxRegions {
+		if e.res.Stats.Regions >= o.MaxRegions {
 			return nil, fmt.Errorf("qwm: region limit %d exceeded", o.MaxRegions)
 		}
 		var tauP float64
@@ -197,11 +228,11 @@ func (e *engine) run() (*Result, error) {
 			}
 			tauP, alpha, err = e.solveRegionSecant(e.front, ev)
 			if err != nil {
-				return nil, fmt.Errorf("qwm: region %d (turn-on of element %d): %w", e.res.Regions, e.front, err)
+				return nil, fmt.Errorf("qwm: region %d (turn-on of element %d): %w", e.res.Stats.Regions, e.front, err)
 			}
 		}
-		if o.Trace != nil {
-			o.Trace("region %d: turn-on elem %d at τ'=%.4gps v=%v", e.res.Regions, e.front, tauP*1e12, e.v[1:])
+		if o.Events != nil {
+			o.Events.Region(Event{Region: e.res.Stats.Regions, Kind: RegionTurnOn, Elem: e.front, Tau: tauP})
 		}
 		e.commitRegion(tauP, alpha, e.front)
 		e.advanceFront()
@@ -220,7 +251,7 @@ func (e *engine) run() (*Result, error) {
 		target := frac * ch.VDD
 		// The slack must exceed the solver's event tolerance (1e-7·VDD).
 		for e.v[m] > target+1e-5 {
-			if e.res.Regions >= o.MaxRegions {
+			if e.res.Stats.Regions >= o.MaxRegions {
 				return nil, fmt.Errorf("qwm: region limit %d exceeded", o.MaxRegions)
 			}
 			sub := target
@@ -238,7 +269,7 @@ func (e *engine) run() (*Result, error) {
 			}
 			tauP, alpha, err := e.solveRegionSecant(m, e.crossEvent(sub))
 			if err != nil {
-				if target < 0.35*ch.VDD && e.res.Regions > 0 {
+				if target < 0.35*ch.VDD && e.res.Stats.Regions > 0 {
 					// The delay point is already behind us; a stalled deep
 					// tail truncates the waveform rather than failing the
 					// whole evaluation.
@@ -247,8 +278,8 @@ func (e *engine) run() (*Result, error) {
 				}
 				return nil, fmt.Errorf("qwm: final region to %.3g V: %w", sub, err)
 			}
-			if o.Trace != nil {
-				o.Trace("region %d: cross %.4g V at τ'=%.4gps", e.res.Regions, sub, tauP*1e12)
+			if o.Events != nil {
+				o.Events.Region(Event{Region: e.res.Stats.Regions, Kind: RegionCross, Target: sub, Tau: tauP})
 			}
 			e.commitRegion(tauP, alpha, m)
 			e.refreshCaps()
@@ -259,7 +290,10 @@ func (e *engine) run() (*Result, error) {
 		}
 	}
 
-	// Assemble result.
+	// Assemble result. The deprecated mirror fields keep older callers
+	// (bench tables, examples) compiling against Stats-era results.
+	e.res.Regions = e.res.Stats.Regions
+	e.res.NRIterations = e.res.Stats.NRIters
 	e.res.Folded = e.segs
 	e.res.Nodes = make([]*wave.PWQ, m)
 	for i, p := range e.segs {
@@ -372,7 +406,7 @@ func (e *engine) commitRegion(tauP float64, alpha []float64, active int) {
 	}
 	e.t = tauP
 	e.prevDur = delta
-	e.res.Regions++
+	e.res.Stats.Regions++
 	e.res.CriticalTimes = append(e.res.CriticalTimes, tauP)
 }
 
@@ -403,6 +437,7 @@ func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, 
 	}
 	if !e.o.FreezeCaps {
 		// Secant-capacitance second pass, as in solveRegionSecant.
+		e.res.Stats.CapResolves++
 		saved := e.scr.capSaved[:len(e.capn)]
 		copy(saved, e.capn)
 		for k := 1; k <= L; k++ {
@@ -418,8 +453,10 @@ func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, 
 			copy(e.capn, saved)
 		}
 	}
-	if e.o.Trace != nil {
-		e.o.Trace("region %d: time-cap %.4gps (%s pending)", e.res.Regions, tauP*1e12, ev.name())
+	if e.o.Events != nil {
+		// ev.name() allocates its formatted string, so build it only when a
+		// sink is attached.
+		e.o.Events.Region(Event{Region: e.res.Stats.Regions, Kind: RegionTimeCap, Tau: tauP, Pending: ev.name()})
 	}
 	e.commitRegion(tauP, alpha, L)
 	e.refreshCaps()
@@ -454,6 +491,7 @@ func (e *engine) solveRegionSecant(L int, ev event) (float64, []float64, error) 
 	if err != nil || e.o.FreezeCaps {
 		return tauP, alpha, err
 	}
+	e.res.Stats.CapResolves++
 	delta := tauP - e.t
 	saved := e.scr.capSaved[:len(e.capn)]
 	copy(saved, e.capn)

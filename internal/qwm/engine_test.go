@@ -1,7 +1,9 @@
 package qwm
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"qwm/internal/devmodel"
@@ -353,14 +355,95 @@ func TestEvaluateRegionLimit(t *testing.T) {
 	}
 }
 
-func TestEvaluateTraceEmitsLines(t *testing.T) {
+// TestEvaluateEventSink replaces the old printf-Trace test: the structured
+// sink must receive exactly one Event per committed region, with
+// monotonically increasing region indices and end times, and the event mix
+// must include the turn-on and crossing kinds a 2-stack always produces.
+func TestEvaluateEventSink(t *testing.T) {
 	ch := fixedStack(t, 2, 1e-6, 5e-15, 0)
-	lines := 0
-	if _, err := Evaluate(ch, Options{Trace: func(string, ...any) { lines++ }}); err != nil {
+	var events []Event
+	res, err := Evaluate(ch, Options{Events: EventFunc(func(ev Event) { events = append(events, ev) })})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if lines == 0 {
-		t.Error("trace callback never fired")
+	if len(events) == 0 {
+		t.Fatal("event sink never fired")
+	}
+	if len(events) != res.Stats.Regions {
+		t.Errorf("sink saw %d events, result reports %d regions", len(events), res.Stats.Regions)
+	}
+	kinds := map[EventKind]int{}
+	for i, ev := range events {
+		if ev.Region != i {
+			t.Errorf("event %d carries region index %d", i, ev.Region)
+		}
+		if i > 0 && ev.Tau <= events[i-1].Tau {
+			t.Errorf("event %d: τ'=%g not after previous %g", i, ev.Tau, events[i-1].Tau)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds[RegionTurnOn] == 0 || kinds[RegionCross] == 0 {
+		t.Errorf("expected both turn-on and cross events, got %v", kinds)
+	}
+}
+
+// TestPrintfSinkFormats: the adapter renders each event kind to a line, and
+// a zero-value sink drops events instead of panicking.
+func TestPrintfSinkFormats(t *testing.T) {
+	var lines []string
+	s := PrintfSink{Printf: func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}}
+	s.Region(Event{Region: 0, Kind: RegionTurnOn, Elem: 2, Tau: 3e-12})
+	s.Region(Event{Region: 1, Kind: RegionCross, Target: 1.65, Tau: 5e-12})
+	s.Region(Event{Region: 2, Kind: RegionTimeCap, Tau: 7e-12, Pending: "turn-on[3]"})
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, want := range []string{"turn-on elem 2", "cross 1.65 V", "(turn-on[3] pending)"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %q, want it to contain %q", i, lines[i], want)
+		}
+	}
+	PrintfSink{}.Region(Event{}) // nil Printf: drop, don't panic
+}
+
+// TestEvaluateStats checks the Stats accounting: the legacy mirror fields
+// agree with Stats, Newton iterations are non-zero, the default
+// (secant-capacitance) mode records its re-solves, FreezeCaps records none,
+// and the dense-LU ablation routes every iteration through the dense path.
+func TestEvaluateStats(t *testing.T) {
+	ch := fixedStack(t, 3, 1e-6, 6e-15, 0)
+	res, err := Evaluate(ch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Regions == 0 || st.NRIters == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+	if res.Regions != st.Regions || res.NRIterations != st.NRIters {
+		t.Errorf("legacy mirrors diverge: Regions %d/%d, NRIterations %d/%d",
+			res.Regions, st.Regions, res.NRIterations, st.NRIters)
+	}
+	if st.CapResolves == 0 {
+		t.Error("default mode performed no secant-capacitance re-solves")
+	}
+
+	frozen, err := Evaluate(fixedStack(t, 3, 1e-6, 6e-15, 0), Options{FreezeCaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Stats.CapResolves != 0 {
+		t.Errorf("FreezeCaps recorded %d cap re-solves, want 0", frozen.Stats.CapResolves)
+	}
+
+	dense, err := Evaluate(fixedStack(t, 3, 1e-6, 6e-15, 0), Options{UseDenseLU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Stats.DenseFallbacks == 0 {
+		t.Error("UseDenseLU recorded no dense solves")
 	}
 }
 

@@ -1,0 +1,86 @@
+package qwm
+
+// EventKind classifies a region event.
+type EventKind uint8
+
+const (
+	// RegionTurnOn: a region ended because the next stack transistor's
+	// gate drive reached its (body-adjusted) threshold.
+	RegionTurnOn EventKind = iota
+	// RegionCross: a final region ended on an output-level crossing.
+	RegionCross
+	// RegionTimeCap: a region was committed at its duration cap with the
+	// pending event (turn-on or crossing) not yet fired — the subdivision
+	// that keeps the linear-current chord honest.
+	RegionTimeCap
+)
+
+// String names the kind for diagnostics.
+func (k EventKind) String() string {
+	switch k {
+	case RegionTurnOn:
+		return "turn-on"
+	case RegionCross:
+		return "cross"
+	case RegionTimeCap:
+		return "time-cap"
+	}
+	return "unknown"
+}
+
+// Event is one committed region, the structured replacement for the old
+// printf Trace hook. Fields beyond Kind are populated per kind: Elem for
+// turn-ons, Target for crossings, Pending for time-capped regions.
+type Event struct {
+	// Region is the 0-based index of the region being committed.
+	Region int
+	// Kind says why the region ended.
+	Kind EventKind
+	// Elem is the element index that turned on (Kind == RegionTurnOn).
+	Elem int
+	// Target is the folded output level matched, in volts
+	// (Kind == RegionCross).
+	Target float64
+	// Tau is the region end time τ′ in seconds.
+	Tau float64
+	// Pending names the event still outstanding when a time-capped region
+	// committed (Kind == RegionTimeCap), e.g. "turn-on[2]" or "cross[1.65]".
+	Pending string
+}
+
+// EventSink receives one Event per committed region. Sinks are invoked
+// synchronously from the region loop; a nil Options.Events disables
+// eventing entirely and costs nothing (no Event is ever constructed).
+type EventSink interface {
+	Region(Event)
+}
+
+// PrintfSink adapts a printf-style function to EventSink, formatting each
+// event the way the deleted Options.Trace hook used to. The format string
+// passed to Printf has no trailing newline.
+type PrintfSink struct {
+	Printf func(format string, args ...any)
+}
+
+// Region formats and forwards one event.
+func (s PrintfSink) Region(ev Event) {
+	if s.Printf == nil {
+		return
+	}
+	switch ev.Kind {
+	case RegionTurnOn:
+		s.Printf("region %d: turn-on elem %d at τ'=%.4gps", ev.Region, ev.Elem, ev.Tau*1e12)
+	case RegionCross:
+		s.Printf("region %d: cross %.4g V at τ'=%.4gps", ev.Region, ev.Target, ev.Tau*1e12)
+	case RegionTimeCap:
+		s.Printf("region %d: time-cap at τ'=%.4gps (%s pending)", ev.Region, ev.Tau*1e12, ev.Pending)
+	default:
+		s.Printf("region %d: %s at τ'=%.4gps", ev.Region, ev.Kind, ev.Tau*1e12)
+	}
+}
+
+// EventFunc adapts a plain function to EventSink.
+type EventFunc func(Event)
+
+// Region forwards the event to the function.
+func (f EventFunc) Region(ev Event) { f(ev) }

@@ -343,7 +343,7 @@ func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 
 	const tol = 1e-7
 	for iter := 0; iter < maxIter; iter++ {
-		e.res.NRIterations++
+		e.res.Stats.NRIters++
 		if fn <= tol {
 			return true
 		}
@@ -353,12 +353,14 @@ func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 		}
 		var err error
 		if dense {
+			e.res.Stats.DenseFallbacks++
 			err = la.SolveDenseInto(dm, neg, dx, s.luN(L+1), s.piv[:L+1])
 		} else {
 			err = tri.SolveRankOneInto(u, v, neg, dx, s.y[:L+1], s.z[:L+1], s.cp[:L])
 			if err != nil {
 				// Thomas pivot breakdown: recover via a dense LU solve
 				// through the scratch workspace (no allocation).
+				e.res.Stats.DenseFallbacks++
 				full := s.denseN(L + 1)
 				tri.DenseInto(full)
 				for r := 0; r <= L; r++ {
@@ -423,7 +425,7 @@ func (rs *regionSys) solveAlphas(alpha []float64, tauP float64, maxIter int) (fl
 	Ftrial := s.Ftrial[:L+1]
 	const tol = 1e-7
 	for iter := 0; iter < maxIter; iter++ {
-		e.res.NRIterations++
+		e.res.Stats.NRIters++
 		if fn <= tol {
 			copy(alpha, x[:L])
 			return F[L], true

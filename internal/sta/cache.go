@@ -3,6 +3,8 @@ package sta
 import (
 	"sync"
 	"sync/atomic"
+
+	"qwm/internal/qwm"
 )
 
 // dirTiming is the cached QWM result for one (stage content + load digest,
@@ -17,6 +19,10 @@ type dirTiming struct {
 	ok           bool
 	slewFellBack bool
 	errMsg       string
+	// stats carries the QWM solver accounting of the evaluation that
+	// produced this entry; cache hits surface the original evaluation's
+	// numbers to observers.
+	stats qwm.Stats
 }
 
 // cacheShards is the number of independently locked shards in the delay
@@ -73,9 +79,13 @@ func fnv1a(s string) uint32 {
 }
 
 // getOrCompute returns the timing for key, invoking compute at most once per
-// key across all goroutines. Concurrent callers with the same key wait for
-// the winner's result.
-func (c *delayCache) getOrCompute(key string, compute func() dirTiming) dirTiming {
+// key across all goroutines, plus whether THIS caller performed the compute
+// (a miss; waiting on another goroutine's in-flight compute counts as a
+// hit). The single-flight entry is installed and completed within one
+// caller's stack frame with no early exits, so a cancelled analysis can
+// never strand an entry with an open ready channel: in-flight computes
+// always run to completion and close ready (see TestCancelledContextLeavesCacheUsable).
+func (c *delayCache) getOrCompute(key string, compute func() dirTiming) (dirTiming, bool) {
 	sh := &c.shards[fnv1a(key)%cacheShards]
 
 	sh.mu.RLock()
@@ -91,13 +101,13 @@ func (c *delayCache) getOrCompute(key string, compute func() dirTiming) dirTimin
 			c.misses.Add(1)
 			e.val = compute()
 			close(e.ready)
-			return e.val
+			return e.val, true
 		}
 		sh.mu.Unlock()
 	}
 	c.hits.Add(1)
 	<-e.ready
-	return e.val
+	return e.val, false
 }
 
 // CacheStats is a snapshot of the delay cache's counters.

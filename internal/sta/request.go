@@ -1,0 +1,231 @@
+package sta
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"qwm/internal/circuit"
+	"qwm/internal/obs"
+)
+
+// Request is the front door of the request-shaped STA API: one analysis of
+// one netlist, with an optional per-request Observer for structured span
+// events. The Analyzer-level knobs (Workers, Opts, Metrics, the shared
+// delay cache) stay on the Analyzer — a Request carries only what varies
+// per call.
+type Request struct {
+	// Netlist is the circuit to analyze.
+	Netlist *circuit.Netlist
+	// Primary maps primary-input nets to their arrival times/slews. Inputs
+	// missing from the map arrive at t = 0 as ideal steps.
+	Primary map[string]Arrival
+	// Outputs are the primary outputs the analysis is asked about; the
+	// worst arrival and critical path are computed over these.
+	Outputs []string
+	// Observer, when non-nil, receives this request's span events
+	// (AnalyzeStart / LevelStart / StageEval / AnalyzeEnd — see
+	// obs.Observer for the ordering and concurrency contract). Nil costs
+	// nothing: the engine never constructs an event or reads the clock.
+	Observer obs.Observer
+}
+
+// AnalyzeContext runs a full timing analysis for one request: the netlist
+// is partitioned into stages, stages are levelized, each level's rise/fall
+// evaluations run across the worker pool (reusing cached delays), and
+// arrivals propagate from the primary inputs to the requested outputs.
+//
+// Cancellation: ctx is checked before any work, between dependency levels,
+// and inside the worker drain. On cancellation, workers stop picking up
+// new items, every in-flight evaluation runs to completion (so the
+// single-flight delay cache is never left holding a permanently pending
+// entry — a later Analyze on the same Analyzer re-evaluates normally), all
+// worker goroutines are joined, and ctx.Err() is returned.
+//
+// Determinism: for a given request, arrivals, the critical path,
+// StagesEvaluated and every deterministic metric (see obs.Snapshot.
+// Deterministic) are bit-for-bit identical at any Workers setting.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result, err error) {
+	a.ensureCache()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Bail before the single-flight cache sees the request: an
+	// already-cancelled context must leave the Analyzer untouched.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	stages := circuit.ExtractStages(req.Netlist, req.Outputs)
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("sta: no logic stages found")
+	}
+
+	// Net → producing stage, then Kahn levelization over gate connectivity.
+	producer := map[string]*circuit.Stage{}
+	for _, st := range stages {
+		for _, o := range st.Outputs {
+			producer[o] = st
+		}
+	}
+	levels, err := levelize(stages, producer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fanout-load index: one pass over the netlist instead of a rescan of
+	// every transistor and capacitor per stage output.
+	loads := buildLoadIndex(req.Netlist, a.Tech)
+
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Observation plumbing: rec is nil unless an observer or a metrics
+	// registry is attached, and every instrumentation site below is gated
+	// on that one pointer — the unobserved path does no extra work.
+	rec := a.newRecorder(req.Observer)
+	if rec != nil {
+		totalItems := 0
+		for _, st := range stages {
+			totalItems += 2 * len(st.Outputs)
+		}
+		rec.analyzeStart(obs.AnalyzeStartInfo{
+			Stages:  len(stages),
+			Levels:  len(levels),
+			Items:   totalItems,
+			Outputs: len(req.Outputs),
+			Workers: workers,
+		})
+		defer func() { rec.analyzeEnd(res, err) }()
+	}
+
+	res = &Result{Arrivals: map[string]Arrival{}}
+	missStart := a.cache.misses.Load()
+	pred := map[string]string{} // net -> worst predecessor net
+	for net, ar := range req.Primary {
+		res.Arrivals[circuit.CanonName(net)] = ar
+	}
+
+	var items []workItem
+	var ins []stageInputs
+	for li, level := range levels {
+		// Cancellation checkpoint between levels: completed levels keep
+		// their cache entries, the rest of the schedule is abandoned.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+
+		// Gather phase (sequential): the worst input arrivals per stage
+		// depend only on completed earlier levels. The per-output evaluation
+		// context (stage-content key + load digest + load map) is built here,
+		// once per (stage, output), so the parallel lookup path below does no
+		// key formatting at all.
+		ins = ins[:0]
+		items = items[:0]
+		for _, st := range level {
+			si := gatherInputs(st, res.Arrivals)
+			ins = append(ins, si)
+			for _, out := range st.Outputs {
+				ol := loads.stageLoads(st, out)
+				ev := &outEval{
+					contentKey: stageKey(st, out) + "|" + loadDigest(ol),
+					loads:      ol,
+				}
+				// An input that rises makes the pull-down conduct (output
+				// falls), and vice versa; each direction sees the slew of
+				// the edge that triggers it.
+				n := len(items)
+				items = append(items,
+					workItem{st: st, out: out, ev: ev, rail: circuit.GroundNode, inSlew: si.riseSlew, level: li, idx: n},
+					workItem{st: st, out: out, ev: ev, rail: circuit.SupplyNode, inSlew: si.fallSlew, level: li, idx: n + 1},
+				)
+			}
+		}
+
+		var levelStart time.Time
+		if rec != nil {
+			rec.levelStart(obs.LevelStartInfo{
+				Level:  li,
+				Levels: len(levels),
+				Stages: len(level),
+				Items:  len(items),
+			})
+			levelStart = time.Now()
+		}
+
+		// Evaluate phase (parallel): drain the level's items through the
+		// worker pool; the single-flight cache deduplicates identical keys.
+		if rerr := a.runItems(ctx, items, workers, rec); rerr != nil {
+			return nil, rerr
+		}
+
+		if rec != nil {
+			rec.levelDone(time.Since(levelStart))
+		}
+
+		// Apply phase (sequential, deterministic): fold results into
+		// arrivals in stage/output order, exactly as the serial engine.
+		k := 0
+		for si2, st := range level {
+			si := &ins[si2]
+			for _, out := range st.Outputs {
+				fall, rise := items[k].timing, items[k+1].timing
+				k += 2
+				res.recordEvalIssues(out, fall, rise)
+				if !fall.ok && !rise.ok {
+					return nil, fmt.Errorf("sta: stage %s output %q has neither pull-up nor pull-down path", st.Name, out)
+				}
+				ar := res.Arrivals[out]
+				if fall.ok {
+					ar.Fall = si.latestRise + fall.delay
+					ar.FallSlew = fall.slew
+					pred[out+"~fall"] = si.riseFrom
+				}
+				if rise.ok {
+					ar.Rise = si.latestFall + rise.delay
+					ar.RiseSlew = rise.slew
+					pred[out+"~rise"] = si.fallFrom
+				}
+				res.Arrivals[out] = ar
+			}
+		}
+	}
+
+	// Worst requested output and its path.
+	worst, worstNet, worstDir := -1.0, "", ""
+	for _, o := range req.Outputs {
+		o = circuit.CanonName(o)
+		ar, ok := res.Arrivals[o]
+		if !ok {
+			return nil, fmt.Errorf("sta: output %q has no arrival (not driven?)", o)
+		}
+		if ar.Fall > worst {
+			worst, worstNet, worstDir = ar.Fall, o, "fall"
+		}
+		if ar.Rise > worst {
+			worst, worstNet, worstDir = ar.Rise, o, "rise"
+		}
+	}
+	res.WorstArrival = worst
+	res.WorstOutput = worstNet
+	res.StagesEvaluated = int(a.cache.misses.Load() - missStart)
+	// Trace the critical path back through alternating directions.
+	net, dir := worstNet, worstDir
+	for net != "" {
+		res.CriticalPath = append(res.CriticalPath, net)
+		p := pred[net+"~"+dir]
+		if dir == "fall" {
+			dir = "rise"
+		} else {
+			dir = "fall"
+		}
+		if p == net {
+			break
+		}
+		net = p
+	}
+	return res, nil
+}

@@ -23,9 +23,9 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,6 +35,7 @@ import (
 	"qwm/internal/circuit"
 	"qwm/internal/devmodel"
 	"qwm/internal/mos"
+	"qwm/internal/obs"
 	"qwm/internal/qwm"
 	"qwm/internal/wave"
 )
@@ -61,9 +62,20 @@ type Analyzer struct {
 	// level. 0 means runtime.GOMAXPROCS(0); 1 forces the serial in-line
 	// path (no goroutines). Results are identical for every setting.
 	Workers int
+	// Metrics, when set, receives per-Analyze aggregates: cache hit/miss
+	// counters, eval/level/analyze latency histograms (names under
+	// "sta/time/"), and the deterministic NR-iteration and region-count
+	// histograms. Nil disables metric recording entirely — the engine then
+	// never reads the clock on the evaluation path.
+	Metrics *obs.Registry
 
 	cacheOnce sync.Once
 	cache     *delayCache
+
+	// msOnce/ms memoize the registry's instrument handles so the evaluation
+	// hot path never performs a name lookup.
+	msOnce sync.Once
+	ms     *metricSet
 }
 
 // New creates an analyzer with a fresh delay cache.
@@ -90,6 +102,66 @@ func (a *Analyzer) CacheStats() CacheStats {
 	return a.cache.stats()
 }
 
+// Diagnostics aggregates the silent-degradation accounting of one Analyze:
+// evaluation failures and conservative slew fallbacks. It used to be three
+// loose fields on Result; they are folded here so health checks can carry
+// and print one value (see String).
+type Diagnostics struct {
+	// EvalErrors counts the stage-direction timings consulted by this
+	// Analyze whose evaluation failed (no conducting path, or a QWM
+	// convergence failure). Failed directions contribute no arrival; a
+	// cached failure counts every Analyze that consults it, so silent
+	// degradation stays visible on every run, not just the one that paid
+	// the miss.
+	EvalErrors int
+	// EvalErrorDetail maps "output~direction" to the first error message
+	// recorded for that direction during this Analyze.
+	EvalErrorDetail map[string]string
+	// SlewFallbacks counts directions whose output slew came from the
+	// conservative fallback estimate rather than a clean 10–90 %
+	// measurement (the QWM tail was truncated before the 10 % point).
+	SlewFallbacks int
+}
+
+// Healthy reports a clean analysis: no failed directions, no slew
+// fallbacks.
+func (d Diagnostics) Healthy() bool { return d.EvalErrors == 0 && d.SlewFallbacks == 0 }
+
+// String renders a one-line summary, with the failed directions (sorted)
+// when there are any:
+//
+//	2 eval errors, 1 slew fallback [out~rise: no path; x~fall: diverged]
+func (d Diagnostics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d eval error%s, %d slew fallback%s",
+		d.EvalErrors, plural(d.EvalErrors), d.SlewFallbacks, plural(d.SlewFallbacks))
+	if len(d.EvalErrorDetail) > 0 {
+		keys := make([]string, 0, len(d.EvalErrorDetail))
+		for k := range d.EvalErrorDetail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(" [")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(k)
+			b.WriteString(": ")
+			b.WriteString(d.EvalErrorDetail[k])
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
 // Result is a completed analysis.
 type Result struct {
 	// Arrivals holds the latest rise/fall arrival per net (primary inputs
@@ -108,20 +180,10 @@ type Result struct {
 	// for serial and parallel runs thanks to the cache's single-flight
 	// discipline.
 	StagesEvaluated int
-	// EvalErrors counts the stage-direction timings consulted by this
-	// Analyze whose evaluation failed (no conducting path, or a QWM
-	// convergence failure). Failed directions contribute no arrival; a
-	// cached failure counts every Analyze that consults it, so silent
-	// degradation stays visible on every run, not just the one that paid
-	// the miss.
-	EvalErrors int
-	// EvalErrorDetail maps "output~direction" to the first error message
-	// recorded for that direction during this Analyze.
-	EvalErrorDetail map[string]string
-	// SlewFallbacks counts directions whose output slew came from the
-	// conservative fallback estimate rather than a clean 10–90 %
-	// measurement (the QWM tail was truncated before the 10 % point).
-	SlewFallbacks int
+	// Diagnostics is embedded, so the pre-fold selectors
+	// (Result.EvalErrors, Result.EvalErrorDetail, Result.SlewFallbacks)
+	// still compile; they are deprecated in favor of Result.Diagnostics.
+	Diagnostics
 }
 
 // outEval is the per-(stage, output) evaluation context, memoized once per
@@ -140,13 +202,17 @@ type outEval struct {
 // workItem is one independent evaluation: a stage output switching toward
 // one rail under a given input slew. Items in a level share no data
 // dependencies, so the worker pool may execute them in any order; the
-// results are folded into arrivals sequentially afterwards.
+// results are folded into arrivals sequentially afterwards. (level, idx)
+// identify the item deterministically for observer events — idx is the
+// item's position in its level's schedule, identical at any worker count.
 type workItem struct {
 	st     *circuit.Stage
 	out    string
 	ev     *outEval
 	rail   string // circuit.GroundNode (output falls) or circuit.SupplyNode (rises)
 	inSlew float64
+	level  int
+	idx    int
 	timing dirTiming
 }
 
@@ -163,136 +229,11 @@ type stageInputs struct {
 // stages, stages are levelized, each level's rise/fall evaluations run
 // across the worker pool (reusing cached delays), and arrivals propagate
 // from the primary inputs to the requested outputs.
+//
+// Analyze is the legacy entry point, kept as a thin wrapper over
+// AnalyzeContext with a background context and no observer.
 func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outputs []string) (*Result, error) {
-	a.ensureCache()
-	stages := circuit.ExtractStages(n, outputs)
-	if len(stages) == 0 {
-		return nil, fmt.Errorf("sta: no logic stages found")
-	}
-
-	// Net → producing stage, then Kahn levelization over gate connectivity.
-	producer := map[string]*circuit.Stage{}
-	for _, st := range stages {
-		for _, o := range st.Outputs {
-			producer[o] = st
-		}
-	}
-	levels, err := levelize(stages, producer)
-	if err != nil {
-		return nil, err
-	}
-
-	// Fanout-load index: one pass over the netlist instead of a rescan of
-	// every transistor and capacitor per stage output.
-	loads := buildLoadIndex(n, a.Tech)
-
-	workers := a.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	res := &Result{Arrivals: map[string]Arrival{}}
-	missStart := a.cache.misses.Load()
-	pred := map[string]string{} // net -> worst predecessor net
-	for net, ar := range primary {
-		res.Arrivals[circuit.CanonName(net)] = ar
-	}
-
-	var items []workItem
-	var ins []stageInputs
-	for _, level := range levels {
-		// Gather phase (sequential): the worst input arrivals per stage
-		// depend only on completed earlier levels. The per-output evaluation
-		// context (stage-content key + load digest + load map) is built here,
-		// once per (stage, output), so the parallel lookup path below does no
-		// key formatting at all.
-		ins = ins[:0]
-		items = items[:0]
-		for _, st := range level {
-			si := gatherInputs(st, res.Arrivals)
-			ins = append(ins, si)
-			for _, out := range st.Outputs {
-				ol := loads.stageLoads(st, out)
-				ev := &outEval{
-					contentKey: stageKey(st, out) + "|" + loadDigest(ol),
-					loads:      ol,
-				}
-				// An input that rises makes the pull-down conduct (output
-				// falls), and vice versa; each direction sees the slew of
-				// the edge that triggers it.
-				items = append(items,
-					workItem{st: st, out: out, ev: ev, rail: circuit.GroundNode, inSlew: si.riseSlew},
-					workItem{st: st, out: out, ev: ev, rail: circuit.SupplyNode, inSlew: si.fallSlew},
-				)
-			}
-		}
-
-		// Evaluate phase (parallel): drain the level's items through the
-		// worker pool; the single-flight cache deduplicates identical keys.
-		a.runItems(items, workers)
-
-		// Apply phase (sequential, deterministic): fold results into
-		// arrivals in stage/output order, exactly as the serial engine.
-		k := 0
-		for li, st := range level {
-			si := &ins[li]
-			for _, out := range st.Outputs {
-				fall, rise := items[k].timing, items[k+1].timing
-				k += 2
-				res.recordEvalIssues(out, fall, rise)
-				if !fall.ok && !rise.ok {
-					return nil, fmt.Errorf("sta: stage %s output %q has neither pull-up nor pull-down path", st.Name, out)
-				}
-				ar := res.Arrivals[out]
-				if fall.ok {
-					ar.Fall = si.latestRise + fall.delay
-					ar.FallSlew = fall.slew
-					pred[out+"~fall"] = si.riseFrom
-				}
-				if rise.ok {
-					ar.Rise = si.latestFall + rise.delay
-					ar.RiseSlew = rise.slew
-					pred[out+"~rise"] = si.fallFrom
-				}
-				res.Arrivals[out] = ar
-			}
-		}
-	}
-
-	// Worst requested output and its path.
-	worst, worstNet, worstDir := -1.0, "", ""
-	for _, o := range outputs {
-		o = circuit.CanonName(o)
-		ar, ok := res.Arrivals[o]
-		if !ok {
-			return nil, fmt.Errorf("sta: output %q has no arrival (not driven?)", o)
-		}
-		if ar.Fall > worst {
-			worst, worstNet, worstDir = ar.Fall, o, "fall"
-		}
-		if ar.Rise > worst {
-			worst, worstNet, worstDir = ar.Rise, o, "rise"
-		}
-	}
-	res.WorstArrival = worst
-	res.WorstOutput = worstNet
-	res.StagesEvaluated = int(a.cache.misses.Load() - missStart)
-	// Trace the critical path back through alternating directions.
-	net, dir := worstNet, worstDir
-	for net != "" {
-		res.CriticalPath = append(res.CriticalPath, net)
-		p := pred[net+"~"+dir]
-		if dir == "fall" {
-			dir = "rise"
-		} else {
-			dir = "fall"
-		}
-		if p == net {
-			break
-		}
-		net = p
-	}
-	return res, nil
+	return a.AnalyzeContext(context.Background(), Request{Netlist: n, Primary: primary, Outputs: outputs})
 }
 
 // recordEvalIssues folds one output's direction timings into the Result's
@@ -339,16 +280,23 @@ func gatherInputs(st *circuit.Stage, arrivals map[string]Arrival) stageInputs {
 
 // runItems evaluates every work item, using up to workers goroutines. With
 // one worker (or one item) it stays on the calling goroutine — the serial
-// reference path.
-func (a *Analyzer) runItems(items []workItem, workers int) {
+// reference path. Cancellation semantics: workers stop picking up NEW items
+// once ctx is cancelled, but every item already being evaluated runs to
+// completion (the single-flight cache must never hold a pending entry), and
+// runItems joins all workers before returning ctx.Err() — no goroutine
+// outlives the call.
+func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, rec *recorder) error {
 	if workers > len(items) {
 		workers = len(items)
 	}
 	if workers <= 1 || len(items) <= 1 {
 		for i := range items {
-			a.evalItem(&items[i])
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			a.evalItem(&items[i], rec)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -356,16 +304,17 @@ func (a *Analyzer) runItems(items []workItem, workers int) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
-				a.evalItem(&items[i])
+				a.evalItem(&items[i], rec)
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // evalItem resolves one work item through the delay cache, computing the
@@ -373,9 +322,14 @@ func (a *Analyzer) runItems(items []workItem, workers int) {
 // load-digest key plus the direction (rail) and input-slew bucket; omitting
 // the load digest was the aliasing bug that let structurally identical
 // stages with different fanout share one entry.
-func (a *Analyzer) evalItem(it *workItem) {
+//
+// rec is the per-Analyze observation recorder; nil means no observer and no
+// metrics registry are attached, and the fast path then performs exactly
+// the work it did before observability existed (no clock reads, no event
+// structs).
+func (a *Analyzer) evalItem(it *workItem, rec *recorder) {
 	key := it.ev.contentKey + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
-	it.timing = a.cache.getOrCompute(key, func() dirTiming {
+	compute := func() dirTiming {
 		a.cache.evals.Add(1)
 		r, err := a.evalDirection(it.st, it.out, it.rail, it.ev.loads, it.inSlew)
 		if err != nil {
@@ -383,10 +337,18 @@ func (a *Analyzer) evalItem(it *workItem) {
 			// the direction contributes no arrival (the apply phase errors
 			// only if both directions are missing) but the failure is
 			// recorded on the Result instead of being swallowed.
-			return dirTiming{errMsg: err.Error()}
+			return dirTiming{errMsg: err.Error(), stats: r.stats}
 		}
-		return dirTiming{delay: r.delay, slew: r.slew, slewFellBack: r.slewFellBack, ok: true}
-	})
+		return dirTiming{delay: r.delay, slew: r.slew, slewFellBack: r.slewFellBack, ok: true, stats: r.stats}
+	}
+	if rec == nil {
+		it.timing, _ = a.cache.getOrCompute(key, compute)
+		return
+	}
+	start := rec.now()
+	timing, computed := a.cache.getOrCompute(key, compute)
+	it.timing = timing
+	rec.stageEval(it, computed, rec.since(start))
 }
 
 // slewBucket quantizes a transition time to 5 ps so nearby values share a
@@ -402,6 +364,7 @@ func slewBucket(s float64) int {
 type dirResult struct {
 	delay, slew  float64
 	slewFellBack bool
+	stats        qwm.Stats
 }
 
 // evalDirection evaluates the worst path to one rail with the canonical
@@ -455,7 +418,7 @@ func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[
 	}
 	d, err := res.Delay50(tIn, vdd)
 	if err != nil {
-		return dirResult{}, err
+		return dirResult{stats: res.Stats}, err
 	}
 	folded := res.Folded[len(res.Folded)-1]
 	slew, serr := wave.Slew(folded, vdd, false)
@@ -465,9 +428,9 @@ func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[
 		// error and propagated slew = 0, so the next stage saw an ideal step
 		// and reported optimistic delays. Substitute a conservative
 		// (pessimistic) estimate instead and flag the fallback.
-		return dirResult{delay: d, slew: fallbackSlew(folded, vdd, inSlew, d), slewFellBack: true}, nil
+		return dirResult{delay: d, slew: fallbackSlew(folded, vdd, inSlew, d), slewFellBack: true, stats: res.Stats}, nil
 	}
-	return dirResult{delay: d, slew: slew}, nil
+	return dirResult{delay: d, slew: slew, stats: res.Stats}, nil
 }
 
 // fallbackSlew derives a conservative 10–90 % transition-time estimate for a

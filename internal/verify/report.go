@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"math"
 	"sort"
+
+	"qwm/internal/obs"
 )
 
 // Histogram is the delay-error distribution in fixed percent buckets.
@@ -66,6 +68,9 @@ type Report struct {
 	Analyze []AnalyzeDiff `json:"analyze_cases"`
 	Sibling []AnalyzeDiff `json:"sibling_pairs"`
 	Summary Summary       `json:"summary"`
+	// Metrics is the aggregated STA engine metrics snapshot of the run
+	// (counters + histograms), present when Config.Metrics was set.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func percentile(sorted []float64, p float64) float64 {

@@ -7,6 +7,7 @@ import (
 	"qwm/internal/bench"
 	"qwm/internal/devmodel"
 	"qwm/internal/mos"
+	"qwm/internal/obs"
 	"qwm/internal/qwm"
 	"qwm/internal/spice"
 	"qwm/internal/sta"
@@ -100,10 +101,12 @@ type AnalyzeDiff struct {
 	Err        string   `json:"err,omitempty"`
 }
 
-// analyze runs one case on a fresh analyzer with the given worker count.
-func analyze(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int) (*sta.Analyzer, *sta.Result, error) {
+// analyze runs one case on a fresh analyzer with the given worker count,
+// recording into metrics when non-nil.
+func analyze(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int, metrics *obs.Registry) (*sta.Analyzer, *sta.Result, error) {
 	a := sta.New(tech, lib)
 	a.Workers = workers
+	a.Metrics = metrics
 	res, err := a.Analyze(c.Netlist, c.Primary, c.Outputs)
 	return a, res, err
 }
@@ -138,8 +141,15 @@ func diffResults(label string, ref, got *sta.Result, out []string) []string {
 // the cold serial reference: a warm re-run on the same analyzer (cache hits
 // only), a cold parallel run, and a warm parallel re-run.
 func RunAnalyzeDiff(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int) AnalyzeDiff {
+	return RunAnalyzeDiffObserved(tech, lib, c, workers, nil)
+}
+
+// RunAnalyzeDiffObserved is RunAnalyzeDiff with an optional metrics
+// registry attached to every analyzer it constructs, so a verification
+// sweep doubles as an observability exercise of the engine.
+func RunAnalyzeDiffObserved(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int, metrics *obs.Registry) AnalyzeDiff {
 	d := AnalyzeDiff{Name: c.Name}
-	serial, ref, err := analyze(tech, lib, c, 1)
+	serial, ref, err := analyze(tech, lib, c, 1, metrics)
 	if err != nil {
 		d.Err = err.Error()
 		return d
@@ -154,7 +164,7 @@ func RunAnalyzeDiff(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, worke
 		d.Mismatches = append(d.Mismatches, fmt.Sprintf("warm re-run evaluated %d stages, want 0", warm.StagesEvaluated))
 	}
 
-	par, pres, err := analyze(tech, lib, c, workers)
+	par, pres, err := analyze(tech, lib, c, workers, metrics)
 	if err != nil {
 		d.Err = "parallel: " + err.Error()
 		return d
@@ -181,9 +191,16 @@ func RunAnalyzeDiff(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, worke
 // tree's entries and fails here; it also checks the loads actually matter
 // (the two trees must not produce identical arrivals).
 func RunSiblingDiff(tech *mos.Tech, lib *devmodel.Library, p *SiblingPair, workers int) AnalyzeDiff {
+	return RunSiblingDiffObserved(tech, lib, p, workers, nil)
+}
+
+// RunSiblingDiffObserved is RunSiblingDiff with an optional metrics
+// registry attached to the analyzers it constructs.
+func RunSiblingDiffObserved(tech *mos.Tech, lib *devmodel.Library, p *SiblingPair, workers int, metrics *obs.Registry) AnalyzeDiff {
 	d := AnalyzeDiff{Name: p.Name}
 	shared := sta.New(tech, lib)
 	shared.Workers = workers
+	shared.Metrics = metrics
 	lightRes, err := shared.Analyze(p.A.Netlist, p.A.Primary, p.A.Outputs)
 	if err != nil {
 		d.Err = "light: " + err.Error()
@@ -194,7 +211,7 @@ func RunSiblingDiff(tech *mos.Tech, lib *devmodel.Library, p *SiblingPair, worke
 		d.Err = "heavy (shared cache): " + err.Error()
 		return d
 	}
-	_, heavyRef, err := analyze(tech, lib, p.B, 1)
+	_, heavyRef, err := analyze(tech, lib, p.B, 1, metrics)
 	if err != nil {
 		d.Err = "heavy (fresh): " + err.Error()
 		return d

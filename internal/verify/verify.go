@@ -6,6 +6,7 @@ import (
 
 	"qwm/internal/bench"
 	"qwm/internal/mos"
+	"qwm/internal/obs"
 )
 
 // Config parameterizes one differential-verification run.
@@ -27,6 +28,10 @@ type Config struct {
 	Workers int
 	// Progress, when set, receives one line per completed case.
 	Progress func(format string, args ...any)
+	// Metrics, when set, is attached to every sta.Analyzer the equivalence
+	// differentials construct; the aggregated snapshot is embedded in the
+	// report (Report.Metrics). Nil disables metric collection.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -81,7 +86,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for i := 0; i < cfg.AnalyzeN; i++ {
 		c := GenAnalyzeCase(tech, r, i)
-		d := RunAnalyzeDiff(tech, h.Lib, c, cfg.Workers)
+		d := RunAnalyzeDiffObserved(tech, h.Lib, c, cfg.Workers, cfg.Metrics)
 		rep.Analyze = append(rep.Analyze, d)
 		if cfg.Progress != nil {
 			cfg.Progress("analyze %s: %s", d.Name, passMark(d.Pass, d.Err))
@@ -89,13 +94,17 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for i := 0; i < cfg.PairN; i++ {
 		p := GenSiblingPair(tech, r, i)
-		d := RunSiblingDiff(tech, h.Lib, p, cfg.Workers)
+		d := RunSiblingDiffObserved(tech, h.Lib, p, cfg.Workers, cfg.Metrics)
 		rep.Sibling = append(rep.Sibling, d)
 		if cfg.Progress != nil {
 			cfg.Progress("sibling %s: %s", d.Name, passMark(d.Pass, d.Err))
 		}
 	}
 	rep.Finalize()
+	if cfg.Metrics != nil {
+		snap := cfg.Metrics.Snapshot()
+		rep.Metrics = &snap
+	}
 	return rep, nil
 }
 
