@@ -1,14 +1,15 @@
 # CI entry points for the qwm repository. `make ci` is the gate a change
 # must pass: vet, build, the targeted observability race suite, the full
 # test suite under the race detector, a smoke run of the STA-parallel,
-# solver-kernel and observed-analyze benchmarks, and a small-budget
-# differential-verification sweep.
+# solver-kernel and observed-analyze benchmarks, a small-budget
+# differential-verification sweep, and a small fault-injection (chaos)
+# sweep over every fault class.
 
 GO ?= go
 
-.PHONY: ci vet build test race race-obs bench bench-full verify verify-full
+.PHONY: ci vet build test race race-obs bench bench-full verify verify-full chaos chaos-full
 
-ci: vet build race-obs race bench verify
+ci: vet build race-obs race bench verify chaos
 
 vet:
 	$(GO) vet ./...
@@ -24,11 +25,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Targeted race pass over the observability-critical packages: the sta
-# worker pool delivering concurrent StageEval events and the sharded
-# metrics registry. Fast enough to run first, before the full race sweep.
+# Targeted race pass over the concurrency-critical packages: the sta worker
+# pool delivering concurrent StageEval events (now including the degradation
+# ladder and its recover isolation), the sharded metrics registry, and the
+# fault injector shared by every worker during chaos runs. Fast enough to
+# run first, before the full race sweep.
 race-obs:
-	$(GO) test -race ./internal/sta/... ./internal/obs/...
+	$(GO) test -race ./internal/sta/... ./internal/obs/... ./internal/faultinject/...
 
 # One-iteration smoke of the perf-critical benchmarks: the parallel STA
 # engine at every worker width, the in-place linear-solver kernels, and the
@@ -51,3 +54,14 @@ verify:
 # on stdout.
 verify-full:
 	$(GO) run ./cmd/verify -seed 1 -n 200 -tol 10
+
+# Small fault-injection sweep: every generated case re-run under each fault
+# class at rate 1, gating on completeness, same-seed determinism at Workers
+# 1 and 8, and conservative (never-optimistic) degraded delays. Exits
+# non-zero on any violated invariant.
+chaos:
+	$(GO) run ./cmd/verify -chaos -seed 1 -chaos-n 2 -o /dev/null
+
+# The full chaos acceptance sweep (more cases, JSON report on stdout).
+chaos-full:
+	$(GO) run ./cmd/verify -chaos -seed 1 -chaos-n 8

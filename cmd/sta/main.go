@@ -16,6 +16,12 @@
 // silently degraded directions are visible. -metrics-json dumps the metrics
 // registry — counters plus NR-iteration, region-count and latency
 // histograms — as JSON on stdout.
+//
+// Evaluations that fail to converge (or exhaust -nr-budget / -wall-budget)
+// escalate a degradation ladder — QWM Newton, QWM bisection, adaptive
+// transient, conservative RC bound — so the report is always complete; a
+// run that used any fallback tier prints a DEGRADED line with the
+// per-direction tier inventory.
 package main
 
 import (
@@ -42,15 +48,18 @@ func main() {
 		workers  = flag.Int("workers", 0, "stage evaluations in flight per level (0 = GOMAXPROCS, 1 = serial)")
 		stats    = flag.Bool("cache-stats", false, "print delay-cache hit/miss/evaluation counters")
 		metrics  = flag.Bool("metrics-json", false, "dump the metrics registry (counters + histograms) as JSON")
+		nrBudget = flag.Int("nr-budget", 0, "per-evaluation Newton-iteration budget (0 = unlimited); exhaustion degrades the tier, never fails the run")
+		wallB    = flag.Duration("wall-budget", 0, "per-evaluation wall-clock budget (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, *stats, *metrics); err != nil {
+	budget := sta.EvalBudget{NRIters: *nrBudget, Wall: *wallB}
+	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, *stats, *metrics, budget); err != nil {
 		fmt.Fprintln(os.Stderr, "sta:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, metricsJSON bool) error {
+func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, metricsJSON bool, budget sta.EvalBudget) error {
 	in := os.Stdin
 	if deckPath != "" {
 		f, err := os.Open(deckPath)
@@ -94,7 +103,7 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, met
 		a.Metrics.Publish("sta")
 	}
 	res, err := a.AnalyzeContext(context.Background(), sta.Request{
-		Netlist: deck.Netlist, Primary: primary, Outputs: outs,
+		Netlist: deck.Netlist, Primary: primary, Outputs: outs, Budget: budget,
 	})
 	if err != nil {
 		return err
@@ -103,6 +112,11 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, met
 	fmt.Printf("stage evaluations: %d\n", res.StagesEvaluated)
 	fmt.Printf("worst arrival: %.4g s at %q\n", res.WorstArrival, res.WorstOutput)
 	fmt.Printf("critical path (latest first): %s\n", strings.Join(res.CriticalPath, " <- "))
+	if !res.Diagnostics.Healthy() {
+		// A degraded run still reports complete arrivals, but the operator
+		// must see which directions came from a fallback tier.
+		fmt.Printf("DEGRADED: %s\n", res.Diagnostics)
+	}
 	if stats {
 		cs := a.CacheStats()
 		fmt.Printf("delay cache: %d hits, %d misses, %d evaluations, %d entries\n",

@@ -33,12 +33,57 @@ func main() {
 		outPath = flag.String("o", "", "write the JSON report to this file (default: stdout)")
 		verbose = flag.Bool("v", false, "print per-case progress to stderr")
 		metrics = flag.Bool("metrics-json", false, "collect STA engine metrics across the sweep and embed the snapshot in the report")
+
+		chaos     = flag.Bool("chaos", false, "run the fault-injection sweep instead: every case re-run under each fault class (see internal/faultinject)")
+		chaosN    = flag.Int("chaos-n", 6, "number of generated analyze cases in the chaos sweep")
+		chaosRate = flag.Float64("chaos-rate", 1, "per-class firing rate in (0,1]; 1 arms the strict tier-coverage assertions")
 	)
 	flag.Parse()
+	if *chaos {
+		if err := runChaos(*seed, *chaosN, *chaosRate, *workers, *outPath, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*seed, *n, *tol, *workers, *outPath, *verbose, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos executes the seeded fault-injection sweep and gates on its three
+// invariants: completeness, same-seed determinism at any worker count, and
+// conservative (never-optimistic) degraded delays.
+func runChaos(seed int64, n int, rate float64, workers int, outPath string, verbose bool) error {
+	cfg := verify.ChaosConfig{Seed: seed, N: n, Rate: rate, Workers: workers}
+	if verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := verify.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(string(b))
+	}
+	fmt.Fprintf(os.Stderr, "verify -chaos: %d cells (%d cases x %d fault classes), %d failures\n",
+		len(rep.Cells), n, len(rep.Cells)/max(n, 1), rep.Failures)
+	if !rep.Pass {
+		return fmt.Errorf("chaos gates failed")
+	}
+	fmt.Fprintln(os.Stderr, "verify -chaos: PASS")
+	return nil
 }
 
 func run(seed int64, n int, tol float64, workers int, outPath string, verbose, metrics bool) error {

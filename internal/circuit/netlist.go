@@ -6,6 +6,7 @@ package circuit
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -161,12 +162,26 @@ func (n *Netlist) Nodes() []string {
 	return out
 }
 
-// Validate performs basic sanity checks: positive geometry and resistance,
-// non-negative capacitance, distinct terminals where required.
+// Validate performs basic sanity checks: positive and finite geometry and
+// resistance, non-negative finite capacitance, distinct terminals where
+// required. NaN propagates silently through every solver in the stack, so
+// non-finite parameters are rejected here rather than surfacing later as a
+// mysterious convergence failure.
 func (n *Netlist) Validate() error {
+	finite := func(vals ...float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
 	for _, t := range n.Transistors {
 		if t.Kind != KindNMOS && t.Kind != KindPMOS {
 			return fmt.Errorf("circuit: %s: transistor kind must be nmos or pmos", t.Name)
+		}
+		if !finite(t.W, t.L) {
+			return fmt.Errorf("circuit: %s: non-finite geometry W=%g L=%g", t.Name, t.W, t.L)
 		}
 		if t.W <= 0 || t.L <= 0 {
 			return fmt.Errorf("circuit: %s: non-positive geometry W=%g L=%g", t.Name, t.W, t.L)
@@ -176,6 +191,9 @@ func (n *Netlist) Validate() error {
 		}
 	}
 	for _, r := range n.Resistors {
+		if !finite(r.R) {
+			return fmt.Errorf("circuit: %s: non-finite resistance %g", r.Name, r.R)
+		}
 		if r.R <= 0 {
 			return fmt.Errorf("circuit: %s: non-positive resistance %g", r.Name, r.R)
 		}
@@ -184,6 +202,9 @@ func (n *Netlist) Validate() error {
 		}
 	}
 	for _, c := range n.Capacitors {
+		if !finite(c.C) {
+			return fmt.Errorf("circuit: %s: non-finite capacitance %g", c.Name, c.C)
+		}
 		if c.C < 0 {
 			return fmt.Errorf("circuit: %s: negative capacitance %g", c.Name, c.C)
 		}

@@ -2,7 +2,9 @@ package qwm
 
 import (
 	"fmt"
+	"time"
 
+	"qwm/internal/faultinject"
 	"qwm/internal/wave"
 )
 
@@ -45,6 +47,33 @@ type Options struct {
 	// (see EventSink; PrintfSink recovers the old printf trace lines). A
 	// nil sink costs nothing: no Event is constructed on the hot path.
 	Events EventSink
+	// ForceBisection skips the joint Newton guess ladder entirely and
+	// solves every region with the robust bisection-on-τ′ fallback (inner α
+	// solves at each trial point). Slower but hard to defeat — the second
+	// rung of the sta degradation ladder uses it when the Newton path fails.
+	ForceBisection bool
+	// NRBudget caps the TOTAL Newton iterations across the whole evaluation
+	// (all region solves, joint and inner). 0 means unlimited. Exceeding it
+	// aborts with an error wrapping ErrBudgetExceeded. Iteration budgets are
+	// deterministic: the same evaluation exceeds (or does not exceed) the
+	// same budget at any worker count.
+	NRBudget int
+	// WallBudget caps the evaluation's wall-clock time, checked at region
+	// boundaries (the per-region solves are short, so overshoot is bounded
+	// by one region solve). 0 means unlimited. Exceeding it aborts with an
+	// error wrapping ErrBudgetExceeded. Unlike NRBudget this is inherently
+	// nondeterministic; use it as a safety net, not a reproducibility tool.
+	WallBudget time.Duration
+	// Fault, when non-nil, is consulted at the solver's fault-injection
+	// sites (region-solve entry: faultinject.NRDivergence; the tridiagonal
+	// linear solve: faultinject.PivotBreakdown) with FaultKey identifying
+	// this evaluation. Nil costs one pointer check per site.
+	Fault *faultinject.Injector
+	// FaultKey identifies this evaluation to the fault injector; the sta
+	// layer sets it to the delay-cache key plus the ladder tier so injection
+	// decisions are per-(stage, direction, slew, load, tier) and therefore
+	// schedule-independent.
+	FaultKey string
 }
 
 func (o *Options) withDefaults(k int) Options {
@@ -144,6 +173,36 @@ type engine struct {
 	res     *Result
 	scr     *solverScratch
 	rs      regionSys // reused region-system header (one region at a time)
+
+	// budgetHit is set by the Newton/inner solve loops when NRBudget runs
+	// out; solveRegion and run translate it into an ErrBudgetExceeded
+	// instead of misreporting the abort as a convergence failure.
+	budgetHit bool
+	// wallDeadline is the absolute WallBudget deadline (zero when
+	// unlimited), checked at region boundaries.
+	wallDeadline time.Time
+}
+
+// overBudget reports whether a budget abort is pending: the iteration
+// budget was hit inside a solve, or the wall deadline has passed.
+func (e *engine) overBudget() bool {
+	if e.budgetHit {
+		return true
+	}
+	if !e.wallDeadline.IsZero() && time.Now().After(e.wallDeadline) {
+		return true
+	}
+	return false
+}
+
+// budgetErr formats the typed budget error for the current state.
+func (e *engine) budgetErr() error {
+	if e.budgetHit {
+		return fmt.Errorf("%w: NR-iteration budget %d exhausted after %d regions",
+			ErrBudgetExceeded, e.o.NRBudget, e.res.Stats.Regions)
+	}
+	return fmt.Errorf("%w: wall budget %v exhausted after %d regions",
+		ErrBudgetExceeded, e.o.WallBudget, e.res.Stats.Regions)
 }
 
 // Evaluate runs piecewise quadratic waveform matching on a chain.
@@ -184,6 +243,9 @@ func newEngine(ch *Chain, opts Options) (*engine, error) {
 		e.cur[k], e.capn[k] = 0, 0
 		e.segs[k-1] = &wave.PWQ{}
 	}
+	if o.WallBudget > 0 {
+		e.wallDeadline = time.Now().Add(o.WallBudget)
+	}
 	e.res.CriticalTimes = append(e.res.CriticalTimes, 0)
 	return e, nil
 }
@@ -207,8 +269,11 @@ func (e *engine) run() (*Result, error) {
 
 	// Turn-on regions: one per remaining off transistor.
 	for e.front < m {
+		if e.overBudget() {
+			return nil, e.budgetErr()
+		}
 		if e.res.Stats.Regions >= o.MaxRegions {
-			return nil, fmt.Errorf("qwm: region limit %d exceeded", o.MaxRegions)
+			return nil, fmt.Errorf("%w: region limit %d exceeded", ErrNoConvergence, o.MaxRegions)
 		}
 		var tauP float64
 		var alpha []float64
@@ -223,8 +288,14 @@ func (e *engine) run() (*Result, error) {
 			ev := e.turnOnEvent(e.front)
 			// Subdivide long waits: a turn-on residual is negative until it
 			// fires.
-			if !o.NoSubdivision && e.timeCappedRegion(e.front, ev, func(fe float64) bool { return fe < 0 }, e.durCap()) {
-				continue
+			if !o.NoSubdivision {
+				capped, cerr := e.timeCappedRegion(e.front, ev, func(fe float64) bool { return fe < 0 }, e.durCap())
+				if cerr != nil {
+					return nil, cerr
+				}
+				if capped {
+					continue
+				}
 			}
 			tauP, alpha, err = e.solveRegionSecant(e.front, ev)
 			if err != nil {
@@ -234,7 +305,9 @@ func (e *engine) run() (*Result, error) {
 		if o.Events != nil {
 			o.Events.Region(Event{Region: e.res.Stats.Regions, Kind: RegionTurnOn, Elem: e.front, Tau: tauP})
 		}
-		e.commitRegion(tauP, alpha, e.front)
+		if err := e.commitRegion(tauP, alpha, e.front); err != nil {
+			return nil, err
+		}
 		e.advanceFront()
 		e.refreshCaps()
 		e.refreshCurrents()
@@ -251,8 +324,11 @@ func (e *engine) run() (*Result, error) {
 		target := frac * ch.VDD
 		// The slack must exceed the solver's event tolerance (1e-7·VDD).
 		for e.v[m] > target+1e-5 {
+			if e.overBudget() {
+				return nil, e.budgetErr()
+			}
 			if e.res.Stats.Regions >= o.MaxRegions {
-				return nil, fmt.Errorf("qwm: region limit %d exceeded", o.MaxRegions)
+				return nil, fmt.Errorf("%w: region limit %d exceeded", ErrNoConvergence, o.MaxRegions)
 			}
 			sub := target
 			if !o.NoSubdivision {
@@ -263,13 +339,17 @@ func (e *engine) run() (*Result, error) {
 					sub = lim
 				}
 				// A cross residual is positive until the level is reached.
-				if e.timeCappedRegion(m, e.crossEvent(sub), func(fe float64) bool { return fe > 0 }, e.durCap()) {
+				capped, cerr := e.timeCappedRegion(m, e.crossEvent(sub), func(fe float64) bool { return fe > 0 }, e.durCap())
+				if cerr != nil {
+					return nil, cerr
+				}
+				if capped {
 					continue
 				}
 			}
 			tauP, alpha, err := e.solveRegionSecant(m, e.crossEvent(sub))
 			if err != nil {
-				if target < 0.35*ch.VDD && e.res.Stats.Regions > 0 {
+				if target < 0.35*ch.VDD && e.res.Stats.Regions > 0 && !e.budgetHit {
 					// The delay point is already behind us; a stalled deep
 					// tail truncates the waveform rather than failing the
 					// whole evaluation.
@@ -281,7 +361,9 @@ func (e *engine) run() (*Result, error) {
 			if o.Events != nil {
 				o.Events.Region(Event{Region: e.res.Stats.Regions, Kind: RegionCross, Target: sub, Tau: tauP})
 			}
-			e.commitRegion(tauP, alpha, m)
+			if err := e.commitRegion(tauP, alpha, m); err != nil {
+				return nil, err
+			}
 			e.refreshCaps()
 			e.refreshCurrents()
 		}
@@ -373,8 +455,12 @@ func (e *engine) refreshCurrents() {
 }
 
 // commitRegion appends this region's quadratic segments and moves the state
-// to τ′.
-func (e *engine) commitRegion(tauP float64, alpha []float64, active int) {
+// to τ′. The solver guarantees τ′ > τ, so a segment-append failure is a
+// violated solver invariant; it used to panic (taking the whole Analyze —
+// and, from a worker goroutine, the whole process — with it) and now
+// returns a typed error wrapping ErrInternal that Evaluate propagates, so
+// one broken evaluation degrades exactly one stage direction.
+func (e *engine) commitRegion(tauP float64, alpha []float64, active int) error {
 	delta := tauP - e.t
 	for k := 1; k <= e.m; k++ {
 		var a float64
@@ -397,9 +483,8 @@ func (e *engine) commitRegion(tauP float64, alpha []float64, active int) {
 			seg.S, seg.A = 0, 0
 		}
 		if err := e.segs[k-1].Append(seg); err != nil {
-			// The solver guarantees τ′ > τ; a failure here is a programming
-			// error, not an input condition.
-			panic("qwm: internal segment error: " + err.Error())
+			return fmt.Errorf("%w: region %d segment for node %d: %v",
+				ErrInternal, e.res.Stats.Regions, k, err)
 		}
 		e.v[k] = seg.EndValue()
 		e.cur[k] += a * delta
@@ -408,14 +493,17 @@ func (e *engine) commitRegion(tauP float64, alpha []float64, active int) {
 	e.prevDur = delta
 	e.res.Stats.Regions++
 	e.res.CriticalTimes = append(e.res.CriticalTimes, tauP)
+	return nil
 }
 
 // timeCappedRegion probes the region's event at τ′ = t + durCap by solving
 // only the α subsystem there. If the event has not yet fired (per notFired
 // on its residual), the fixed-duration region is committed and the caller
 // loops — this subdivides long regions so the linear-current chord stays
-// accurate through fast equilibration transients.
-func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, durCap float64) bool {
+// accurate through fast equilibration transients. The first return value
+// reports whether a capped region was committed; the error is non-nil only
+// for a commit-invariant violation (ErrInternal).
+func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, durCap float64) (bool, error) {
 	rs := e.newRegionSys(L, ev)
 	alpha := e.scr.nextAlpha(L)
 	for i := range alpha {
@@ -433,7 +521,7 @@ func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, 
 	}
 	fe, ok := rs.solveAlphas(alpha, tauP, iter)
 	if !ok || !notFired(fe) {
-		return false
+		return false, nil
 	}
 	if !e.o.FreezeCaps {
 		// Secant-capacitance second pass, as in solveRegionSecant.
@@ -458,10 +546,12 @@ func (e *engine) timeCappedRegion(L int, ev event, notFired func(float64) bool, 
 		// sink is attached.
 		e.o.Events.Region(Event{Region: e.res.Stats.Regions, Kind: RegionTimeCap, Tau: tauP, Pending: ev.name()})
 	}
-	e.commitRegion(tauP, alpha, L)
+	if err := e.commitRegion(tauP, alpha, L); err != nil {
+		return false, err
+	}
 	e.refreshCaps()
 	e.refreshCurrents()
-	return true
+	return true, nil
 }
 
 // endVoltage predicts node k's voltage after delta under the current
@@ -513,11 +603,11 @@ func (e *engine) gateWait() (float64, error) {
 	level := el.Model.Threshold(0)
 	cr, ok := el.Gate.(wave.Crosser)
 	if !ok {
-		return 0, fmt.Errorf("qwm: element 0 gate waveform cannot locate its own threshold crossing")
+		return 0, fmt.Errorf("%w: element 0 gate waveform cannot locate its own threshold crossing", ErrNoConvergence)
 	}
 	tc, found := cr.Crossing(level, true)
 	if !found || tc > e.o.Horizon {
-		return 0, fmt.Errorf("qwm: element 0 never turns on within the horizon")
+		return 0, fmt.Errorf("%w: element 0 never turns on within the horizon", ErrNoConvergence)
 	}
 	if tc <= e.t {
 		tc = e.t + 1e-15

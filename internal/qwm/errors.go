@@ -1,0 +1,26 @@
+package qwm
+
+import "errors"
+
+// The typed error taxonomy of the QWM solver. Every evaluation failure
+// returned by Evaluate wraps exactly one of these sentinels, so callers
+// (the sta degradation ladder, the verify harness) can classify failures
+// with errors.Is instead of string matching:
+//
+//   - ErrNoConvergence: a region solve failed — the joint Newton guess
+//     ladder diverged AND the bisection fallback found no event bracket, the
+//     region budget ran out, or the first transistor never turns on within
+//     the horizon. The paper's known failure mode near flat regions; the
+//     caller should escalate to a slower-but-sure solver.
+//   - ErrBudgetExceeded: the evaluation was aborted by an explicit resource
+//     budget (Options.NRBudget total Newton iterations or Options.WallBudget
+//     wall clock), not by a numerical failure. Retrying with a larger budget
+//     or a cheaper tier is appropriate.
+//   - ErrInternal: a solver invariant was violated (e.g. a region commit
+//     produced a non-advancing segment). Previously a panic; now a typed
+//     error so one broken evaluation cannot take down a whole Analyze.
+var (
+	ErrNoConvergence  = errors.New("qwm: no convergence")
+	ErrBudgetExceeded = errors.New("qwm: evaluation budget exceeded")
+	ErrInternal       = errors.New("qwm: internal inconsistency")
+)

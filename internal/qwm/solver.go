@@ -1,11 +1,18 @@
 package qwm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"qwm/internal/faultinject"
 	"qwm/internal/la"
 )
+
+// errInjectedPivot is the synthetic linear-solve failure raised by the
+// faultinject.PivotBreakdown site; it drives the solver down the same
+// dense-LU recovery path a real near-zero Thomas pivot does.
+var errInjectedPivot = errors.New("faultinject: injected Thomas pivot breakdown")
 
 // event closes a region's algebraic system: the turn-on condition of the
 // next stack transistor (paper Eq. 7, last line) or an output-level crossing
@@ -264,45 +271,63 @@ func (rs *regionSys) vdotAt(k int) float64 {
 // the paper's joint Newton iteration over several τ′ scale guesses, then
 // falls back to a robust bisection on τ′ with an inner α solve.
 func (e *engine) solveRegion(L int, ev event) (float64, []float64, error) {
+	// Fault site: a forced NR divergence fails the whole region solve, as a
+	// Newton blow-up near a flat region would. The site fires in both the
+	// Newton and bisection modes, so at rate 1 it defeats the first two
+	// ladder tiers and forces the sta caller down to the spice tier.
+	if e.o.Fault.Fire(faultinject.NRDivergence, e.o.FaultKey) {
+		return 0, nil, fmt.Errorf("%w: injected NR divergence at region %d (faultinject)",
+			ErrNoConvergence, e.res.Stats.Regions)
+	}
+
 	rs := e.newRegionSys(L, ev)
 
-	// Fixed-size guess ladder (stack-allocated; the hot path must not touch
-	// the heap).
-	var guesses [7]float64
-	ng := 0
-	if e.prevDur > 0 {
-		guesses[ng] = e.prevDur
-		guesses[ng+1] = e.prevDur / 4
-		ng += 2
-	}
-	for _, dg := range [...]float64{1e-12, 1e-11, 1e-10, 1e-9, 5e-9} {
-		guesses[ng] = dg
-		ng++
-	}
-	x := e.scr.x[:L+1]
-	for _, dg := range guesses[:ng] {
-		for i := range x {
-			x[i] = 0
+	if !e.o.ForceBisection {
+		// Fixed-size guess ladder (stack-allocated; the hot path must not
+		// touch the heap).
+		var guesses [7]float64
+		ng := 0
+		if e.prevDur > 0 {
+			guesses[ng] = e.prevDur
+			guesses[ng+1] = e.prevDur / 4
+			ng += 2
 		}
-		if rs.lin {
-			// The linear model's unknowns are absolute currents; start from
-			// the region-entry values.
-			copy(x[:L], e.cur[1:L+1])
+		for _, dg := range [...]float64{1e-12, 1e-11, 1e-10, 1e-9, 5e-9} {
+			guesses[ng] = dg
+			ng++
 		}
-		x[L] = e.t + dg
-		if ok := rs.newton(x, e.o.MaxNR, e.o.UseDenseLU); ok {
-			// Copy the result out of the shared x buffer: the caller's secant
-			// second pass holds it across the next solveRegion call, so the
-			// two most recent results rotate through a double buffer.
-			out := e.scr.nextAlpha(L)
-			copy(out, x[:L])
-			return x[L], out, nil
+		x := e.scr.x[:L+1]
+		for _, dg := range guesses[:ng] {
+			for i := range x {
+				x[i] = 0
+			}
+			if rs.lin {
+				// The linear model's unknowns are absolute currents; start
+				// from the region-entry values.
+				copy(x[:L], e.cur[1:L+1])
+			}
+			x[L] = e.t + dg
+			if ok := rs.newton(x, e.o.MaxNR, e.o.UseDenseLU); ok {
+				// Copy the result out of the shared x buffer: the caller's
+				// secant second pass holds it across the next solveRegion
+				// call, so the two most recent results rotate through a
+				// double buffer.
+				out := e.scr.nextAlpha(L)
+				copy(out, x[:L])
+				return x[L], out, nil
+			}
+			if e.budgetHit {
+				return 0, nil, e.budgetErr()
+			}
 		}
 	}
 	// Bisection fallback on τ′ with an inner α solve at each trial point.
 	tauP, alpha, err := rs.bisect()
 	if err != nil {
-		return 0, nil, err
+		if e.budgetHit {
+			return 0, nil, e.budgetErr()
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrNoConvergence, err)
 	}
 	out := e.scr.nextAlpha(L)
 	copy(out, alpha)
@@ -344,6 +369,10 @@ func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 	const tol = 1e-7
 	for iter := 0; iter < maxIter; iter++ {
 		e.res.Stats.NRIters++
+		if e.o.NRBudget > 0 && e.res.Stats.NRIters > e.o.NRBudget {
+			e.budgetHit = true
+			return false
+		}
 		if fn <= tol {
 			return true
 		}
@@ -356,7 +385,15 @@ func (rs *regionSys) newton(x []float64, maxIter int, dense bool) bool {
 			e.res.Stats.DenseFallbacks++
 			err = la.SolveDenseInto(dm, neg, dx, s.luN(L+1), s.piv[:L+1])
 		} else {
-			err = tri.SolveRankOneInto(u, v, neg, dx, s.y[:L+1], s.z[:L+1], s.cp[:L])
+			// Fault site: a synthetic near-zero Thomas pivot exercises the
+			// same in-scratch dense-LU recovery a real breakdown does; the
+			// iteration then proceeds normally, so this fault must never
+			// change results — only the DenseFallbacks counter.
+			if e.o.Fault.Fire(faultinject.PivotBreakdown, e.o.FaultKey) {
+				err = errInjectedPivot
+			} else {
+				err = tri.SolveRankOneInto(u, v, neg, dx, s.y[:L+1], s.z[:L+1], s.cp[:L])
+			}
 			if err != nil {
 				// Thomas pivot breakdown: recover via a dense LU solve
 				// through the scratch workspace (no allocation).
@@ -426,6 +463,10 @@ func (rs *regionSys) solveAlphas(alpha []float64, tauP float64, maxIter int) (fl
 	const tol = 1e-7
 	for iter := 0; iter < maxIter; iter++ {
 		e.res.Stats.NRIters++
+		if e.o.NRBudget > 0 && e.res.Stats.NRIters > e.o.NRBudget {
+			e.budgetHit = true
+			return 0, false
+		}
 		if fn <= tol {
 			copy(alpha, x[:L])
 			return F[L], true

@@ -19,9 +19,15 @@ type dirTiming struct {
 	ok           bool
 	slewFellBack bool
 	errMsg       string
+	// tier records which rung of the degradation ladder produced this
+	// timing (TierQWM for a clean solve); meaningful only when ok.
+	tier Tier
+	// panics counts the panics recovered (and converted to tier
+	// escalations) while resolving this entry.
+	panics int
 	// stats carries the QWM solver accounting of the evaluation that
-	// produced this entry; cache hits surface the original evaluation's
-	// numbers to observers.
+	// produced this entry — summed across every ladder tier attempted;
+	// cache hits surface the original evaluation's numbers to observers.
 	stats qwm.Stats
 }
 

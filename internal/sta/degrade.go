@@ -1,0 +1,398 @@
+package sta
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qwm/internal/circuit"
+	"qwm/internal/faultinject"
+	"qwm/internal/qwm"
+	"qwm/internal/spice"
+	"qwm/internal/stages"
+	"qwm/internal/switchlevel"
+	"qwm/internal/wave"
+)
+
+// Tier identifies the rung of the degradation ladder that produced a
+// stage-direction timing. Lower tiers are more accurate; higher tiers trade
+// accuracy for robustness and carry a conservative guard-band so a degraded
+// delay is never optimistic relative to the clean QWM answer.
+type Tier uint8
+
+const (
+	// TierQWM is the paper's solver: piecewise-quadratic waveform matching
+	// with the joint Newton iteration (plus its built-in bisection rescue
+	// per region). No guard-band — this is the reference answer.
+	TierQWM Tier = iota
+	// TierBisect re-runs QWM with the Newton guess ladder disabled
+	// (Options.ForceBisection): every region is solved by the slow
+	// bracketing fallback, which survives the flat-region geometries that
+	// defeat Newton. Guard-band 1.10x.
+	TierBisect
+	// TierSpice rebuilds the worst path as a small transistor netlist and
+	// integrates it with the adaptive (LTE-controlled) trapezoidal
+	// transient of internal/spice. Slowest numerical tier, different
+	// algorithm family — a QWM-specific failure mode cannot recur here.
+	// Guard-band 1.25x.
+	TierSpice
+	// TierBound is the last resort: the switch-level RC bound
+	// (switchlevel.PathBound, Elmore x ln2 x 3). Purely structural — no
+	// iteration, no convergence, cannot fail on a valid path — and
+	// intentionally pessimistic.
+	TierBound
+	// NumTiers bounds the tier enum; not a tier itself.
+	NumTiers
+)
+
+var tierNames = [NumTiers]string{
+	TierQWM:    "qwm",
+	TierBisect: "qwm-bisect",
+	TierSpice:  "spice",
+	TierBound:  "rc-bound",
+}
+
+// String returns the canonical tier name.
+func (t Tier) String() string {
+	if t < NumTiers {
+		return tierNames[t]
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// Per-tier conservative guard-bands. A degraded tier must never report a
+// delay below the clean QWM answer it replaces (the chaos harness asserts
+// this), so each fallback's delay and slew are inflated by a margin that
+// covers the tier's worst observed deviation from QWM with room to spare:
+// bisection solves the same equations (percent-level deviation from the
+// Newton path at most), the adaptive transient agrees with QWM to the
+// paper's ~2 % accuracy, and the RC bound carries its own 3x factor inside
+// switchlevel.PathBound.
+const (
+	guardBisect = 1.10
+	guardSpice  = 1.25
+)
+
+// EvalBudget bounds each stage-direction evaluation of an Analyze. The zero
+// value means unlimited. Exhausting a budget aborts the running tier with
+// ErrBudgetExceeded and escalates the ladder; it never fails the Analyze.
+type EvalBudget struct {
+	// NRIters caps the total Newton iterations one QWM evaluation may
+	// spend (joint and inner solves combined).
+	NRIters int
+	// Wall caps one QWM evaluation's wall-clock time, checked at region
+	// boundaries. Wall budgets are inherently racy with scheduling — use
+	// NRIters when determinism across runs matters.
+	Wall time.Duration
+}
+
+// evalEnv carries the per-request evaluation configuration (budget and
+// fault injector) from AnalyzeContext into the worker-side ladder. One env
+// is shared read-only by every worker of an Analyze.
+type evalEnv struct {
+	budget EvalBudget
+	fault  *faultinject.Injector
+}
+
+// qwmOpts assembles the solver options for one QWM tier attempt: the
+// Analyzer's tuning plus the request's budget and fault plumbing. faultKey
+// already carries the tier suffix, so the injector can distinguish the
+// Newton and bisection attempts of one direction.
+func (a *Analyzer) qwmOpts(env *evalEnv, faultKey string, forceBisect bool) qwm.Options {
+	o := a.Opts
+	o.ForceBisection = forceBisect
+	o.NRBudget = env.budget.NRIters
+	o.WallBudget = env.budget.Wall
+	o.Fault = env.fault
+	o.FaultKey = faultKey
+	return o
+}
+
+// evalLadder resolves one stage-direction timing through the degradation
+// ladder. Structural failures (no conducting path to the rail) return
+// immediately without escalation — no solver can conjure a path that does
+// not exist. Numerical failures, budget aborts and recovered panics
+// escalate tier by tier; only if every tier fails (which requires a
+// structurally unsupported path, since TierBound is iteration-free) does
+// the direction come back failed.
+//
+// faultKey is the direction's cache key: deterministic, schedule- and
+// worker-independent, which is what makes seeded fault injection
+// reproducible at any Workers setting.
+func (a *Analyzer) evalLadder(env *evalEnv, st *circuit.Stage, out, rail string, loads map[string]float64, inSlew float64, faultKey string) dirTiming {
+	path, err := circuit.LongestPath(st, out, rail)
+	if err != nil {
+		// Structural: the stage genuinely has no path to this rail (e.g. a
+		// pass-gate structure). Not a solver failure; do not escalate.
+		return dirTiming{errMsg: err.Error()}
+	}
+
+	var t dirTiming
+	var errs strings.Builder
+	for tier := TierQWM; tier < NumTiers; tier++ {
+		r, err := a.runTier(env, tier, st, out, rail, path, loads, inSlew, faultKey, &t)
+		addStats(&t.stats, r.stats)
+		if err == nil {
+			t.delay, t.slew = r.delay, r.slew
+			t.slewFellBack = r.slewFellBack
+			t.ok = true
+			t.tier = tier
+			return t
+		}
+		if errs.Len() > 0 {
+			errs.WriteString("; ")
+		}
+		fmt.Fprintf(&errs, "%s: %v", tier, err)
+	}
+	t.errMsg = "all tiers failed: " + errs.String()
+	return t
+}
+
+// runTier executes one rung of the ladder with panic isolation: any panic
+// raised inside the tier (a solver bug, or the faultinject.Panic class) is
+// converted to an ErrPanicRecovered-wrapped error at this boundary, so the
+// worker goroutine survives, the single-flight cache entry completes, and
+// the ladder escalates exactly as for an ordinary tier failure.
+func (a *Analyzer) runTier(env *evalEnv, tier Tier, st *circuit.Stage, out, rail string, path *circuit.Path, loads map[string]float64, inSlew float64, faultKey string, t *dirTiming) (res dirResult, err error) {
+	key := fmt.Sprintf("%s|tier%d", faultKey, tier)
+	defer func() {
+		if p := recover(); p != nil {
+			t.panics++
+			res = dirResult{}
+			err = fmt.Errorf("%w: %v", ErrPanicRecovered, p)
+		}
+	}()
+	// Fault site: a synthetic panic inside the tier evaluation. Armed for
+	// the numerical tiers only — TierBound is the ladder's floor and must
+	// stay unconditionally reliable, injected chaos included.
+	if tier < TierBound && env.fault.Fire(faultinject.Panic, key) {
+		panic(fmt.Sprintf("faultinject: synthetic panic in %s evaluation", tier))
+	}
+
+	switch tier {
+	case TierQWM:
+		// Fault site: an injected budget exhaustion, as a too-small
+		// Request.Budget would produce. Tier 0 only: the cheap rescue
+		// (bisection) is exactly what a budget-driven abort should
+		// escalate to.
+		if env.fault.Fire(faultinject.BudgetExhaustion, key) {
+			return dirResult{}, fmt.Errorf("%w: injected budget exhaustion (faultinject)", ErrBudgetExceeded)
+		}
+		return a.evalQWMPath(st, path, out, rail, loads, inSlew, a.qwmOpts(env, key, false))
+	case TierBisect:
+		r, err := a.evalQWMPath(st, path, out, rail, loads, inSlew, a.qwmOpts(env, key, true))
+		if err != nil {
+			return r, err
+		}
+		r.delay *= guardBisect
+		r.slew *= guardBisect
+		return r, nil
+	case TierSpice:
+		r, err := a.evalSpicePath(st, path, out, rail, loads, inSlew)
+		if err != nil {
+			return r, err
+		}
+		r.delay *= guardSpice
+		r.slew *= guardSpice
+		return r, nil
+	case TierBound:
+		return a.evalBoundPath(st, path, out, loads, inSlew)
+	}
+	return dirResult{}, fmt.Errorf("sta: unknown tier %d", tier)
+}
+
+// addStats folds one tier attempt's solver accounting into the direction's
+// running total, so a degraded direction reports the full cost of every
+// attempt, not just the tier that finally answered.
+func addStats(dst *qwm.Stats, s qwm.Stats) {
+	dst.Regions += s.Regions
+	dst.NRIters += s.NRIters
+	dst.DenseFallbacks += s.DenseFallbacks
+	dst.CapResolves += s.CapResolves
+}
+
+// stimulus builds the canonical worst-case switching waveform for one
+// direction: the rail-side input switches at t = 0 — an ideal step when
+// inSlew is zero, otherwise a ramp spanning the full swing (the 10-90 %
+// slew covers 80 % of it) — and returns the waveform, the on-level for the
+// held inputs, and the input reference time delays are measured from.
+func stimulus(vdd float64, rail string, inSlew float64) (sw wave.Waveform, onLevel float64, tIn float64) {
+	onLevel, offLevel := vdd, 0.0
+	if rail == circuit.SupplyNode {
+		onLevel, offLevel = 0, vdd // PMOS conducts with a low gate
+	}
+	sw = wave.Step{At: 0, Low: offLevel, High: onLevel}
+	if inSlew > 0 {
+		full := 1.25 * inSlew
+		sw = wave.Ramp{T0: 0, T1: full, Low: offLevel, High: onLevel}
+		tIn = full / 2
+	}
+	return sw, onLevel, tIn
+}
+
+// pathInputs assigns a waveform to every gate along the path: the first
+// transistor's gate gets the switching stimulus, every other gate is held
+// at the conducting level.
+func pathInputs(path *circuit.Path, sw wave.Waveform, onLevel float64) map[string]wave.Waveform {
+	inputs := map[string]wave.Waveform{}
+	first := true
+	for _, pe := range path.Elems {
+		if pe.Edge.Kind == circuit.KindWire {
+			continue
+		}
+		if first {
+			inputs[pe.Edge.Gate] = sw
+			first = false
+			continue
+		}
+		if _, dup := inputs[pe.Edge.Gate]; !dup {
+			inputs[pe.Edge.Gate] = wave.DC(onLevel)
+		}
+	}
+	return inputs
+}
+
+// evalSpicePath is the TierSpice evaluation: the worst path is rebuilt as a
+// self-contained transistor netlist — path devices, the worst-case gate
+// stimulus, the fanout loads as explicit capacitors, rail sources, and the
+// precharged initial condition — and integrated with the LTE-controlled
+// adaptive trapezoidal transient. A different algorithm family than QWM, so
+// the Newton failure that brought the ladder here cannot recur.
+func (a *Analyzer) evalSpicePath(st *circuit.Stage, path *circuit.Path, out, rail string, loads map[string]float64, inSlew float64) (dirResult, error) {
+	vdd := a.Tech.VDD
+	sw, onLevel, tIn := stimulus(vdd, rail, inSlew)
+	rising := rail == circuit.SupplyNode
+	// Initial condition: the path nodes start at the opposite rail
+	// (precharged for a discharge, pre-discharged for a charge).
+	icLevel := vdd
+	if rising {
+		icLevel = 0
+	}
+
+	n := &circuit.Netlist{}
+	n.AddVSource("vvdd", circuit.SupplyNode, circuit.GroundNode, wave.DC(vdd))
+	for g, w := range pathInputs(path, sw, onLevel) {
+		n.AddVSource("v"+g, g, circuit.GroundNode, w)
+	}
+	ic := map[string]float64{}
+	for i, pe := range path.Elems {
+		switch pe.Edge.Kind {
+		case circuit.KindWire:
+			n.AddResistor(fmt.Sprintf("r%d", i), pe.Lower, pe.Upper, pe.Edge.R)
+		case circuit.KindNMOS:
+			n.AddTransistor(&circuit.Transistor{
+				Name: fmt.Sprintf("m%d", i), Kind: circuit.KindNMOS,
+				Drain: pe.Upper, Gate: pe.Edge.Gate, Source: pe.Lower,
+				Body: circuit.GroundNode, W: pe.Edge.W, L: pe.Edge.L,
+			})
+		case circuit.KindPMOS:
+			n.AddTransistor(&circuit.Transistor{
+				Name: fmt.Sprintf("m%d", i), Kind: circuit.KindPMOS,
+				Drain: pe.Upper, Gate: pe.Edge.Gate, Source: pe.Lower,
+				Body: circuit.SupplyNode, W: pe.Edge.W, L: pe.Edge.L,
+			})
+		default:
+			return dirResult{}, fmt.Errorf("sta: spice tier: unsupported element kind %v", pe.Edge.Kind)
+		}
+		ic[pe.Upper] = icLevel
+	}
+	ci := 0
+	for node, c := range loads {
+		if c > 0 {
+			n.AddCapacitor(fmt.Sprintf("cl%d", ci), node, circuit.GroundNode, c)
+			ci++
+		}
+	}
+	// Off-path device parasitics: the QWM builder loads every path node
+	// with the junction, overlap and half-channel capacitance of ALL stage
+	// devices touching it — the complementary rail's drain caps included.
+	// The sub-netlist only instantiates the path devices (whose parasitics
+	// the simulator models itself), so the off-path share is lumped here at
+	// the mid-swing linearization point, exactly as the switch-level model
+	// does; omitting it made the spice tier under-predict by the missing
+	// capacitance ratio and defeat the guard-band.
+	onPath := map[*circuit.StageEdge]bool{}
+	inNet := map[string]bool{}
+	for _, pe := range path.Elems {
+		onPath[pe.Edge] = true
+		inNet[pe.Lower], inNet[pe.Upper] = true, true
+	}
+	pi := 0
+	for _, e := range st.Edges {
+		if onPath[e] || e.Kind == circuit.KindWire {
+			continue
+		}
+		p := &a.Tech.N
+		if e.Kind == circuit.KindPMOS {
+			p = &a.Tech.P
+		}
+		for _, nd := range [2]string{e.Src, e.Snk} {
+			if !inNet[nd] || nd == circuit.GroundNode || nd == circuit.SupplyNode {
+				continue
+			}
+			c := p.JunctionCap(p.DefaultJunction(e.W), vdd/2)
+			srcHalf, _ := p.ChannelCapSplit(e.W, e.L)
+			c += p.OverlapCap(e.W) + srcHalf
+			n.AddCapacitor(fmt.Sprintf("cp%d", pi), nd, circuit.GroundNode, c)
+			pi++
+		}
+	}
+
+	sim, err := spice.New(n, a.Tech, false)
+	if err != nil {
+		return dirResult{}, fmt.Errorf("sta: spice tier: %w", err)
+	}
+	// Span: generous for the ps–ns stage delays this engine targets, plus
+	// the full input ramp; HMax keeps coarse late-tail steps from blurring
+	// the measured edge.
+	tstop := 1.25*inSlew + 2e-9
+	res, err := sim.TransientAdaptive(spice.AdaptiveOptions{
+		TStop:       tstop,
+		HMax:        5e-12,
+		IC:          ic,
+		RecordNodes: []string{out},
+	})
+	if err != nil {
+		return dirResult{}, fmt.Errorf("sta: spice tier: %w", err)
+	}
+	w, err := res.Waveform(out)
+	if err != nil {
+		return dirResult{}, fmt.Errorf("sta: spice tier: %w", err)
+	}
+	d, err := wave.Delay50(w, tIn, vdd, rising)
+	if err != nil {
+		return dirResult{}, fmt.Errorf("sta: spice tier: %w", err)
+	}
+	slew, serr := wave.Slew(w, vdd, rising)
+	if serr != nil || slew <= 0 {
+		// The recorded transient ended before the 10/90 % points: substitute
+		// the conservative estimate (fallbackSlew's last resort, which does
+		// not assume a falling waveform).
+		est := 2 * d
+		if inSlew > est {
+			est = inSlew
+		}
+		if est <= 0 {
+			est = 1e-12
+		}
+		return dirResult{delay: d, slew: est, slewFellBack: true}, nil
+	}
+	return dirResult{delay: d, slew: slew}, nil
+}
+
+// evalBoundPath is the TierBound evaluation: the conservative switch-level
+// RC bound over the worst path. The slew is bounded by the larger of the
+// input slew and twice the (already guard-banded) delay — a transition
+// cannot meaningfully outlast the RC bound that produced it.
+func (a *Analyzer) evalBoundPath(st *circuit.Stage, path *circuit.Path, out string, loads map[string]float64, inSlew float64) (dirResult, error) {
+	w := &stages.Workload{Stage: st, Path: path, Output: out, Loads: loads}
+	d, err := switchlevel.PathBound(w, a.Tech)
+	if err != nil {
+		return dirResult{}, fmt.Errorf("sta: bound tier: %w", err)
+	}
+	slew := 2 * d
+	if inSlew > slew {
+		slew = inSlew
+	}
+	return dirResult{delay: d, slew: slew, slewFellBack: true}, nil
+}

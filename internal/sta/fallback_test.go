@@ -2,6 +2,7 @@ package sta
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"qwm/internal/circuit"
@@ -56,6 +57,96 @@ func TestFallbackSlew(t *testing.T) {
 	// Degenerate: no crossings, zero delay, zero input slew — still positive.
 	if got := fallbackSlew(q, vdd, 0, 0); got <= 0 {
 		t.Errorf("degenerate fallback slew %g must stay positive", got)
+	}
+}
+
+// TestFallbackSlewNonMonotonic: a glitching waveform can cross 30 % before
+// 70 % (it starts mid-swing, dips, then recovers). The chord would come out
+// negative; the guard must reject it and fall back to the coarse bound.
+func TestFallbackSlewNonMonotonic(t *testing.T) {
+	vdd := tech.VDD
+	p := &wave.PWQ{}
+	segs := []wave.QuadSeg{
+		// Starts at 50 %, dips to 25 % (first 30 % crossing here) ...
+		{T0: 0, T1: 1e-9, V0: 0.5 * vdd, S: -0.25 * vdd / 1e-9},
+		// ... recovers to 90 % ...
+		{T0: 1e-9, T1: 2e-9, V0: 0.25 * vdd, S: 0.65 * vdd / 1e-9},
+		// ... then falls to 60 % (first falling 70 % crossing, late).
+		{T0: 2e-9, T1: 3e-9, V0: 0.9 * vdd, S: -0.3 * vdd / 1e-9},
+	}
+	for _, s := range segs {
+		if err := p.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Precondition of the scenario: both crossings exist and are out of
+	// order (the 30 % crossing precedes the 70 % one).
+	t70, ok1 := p.Crossing(0.7*vdd, false)
+	t30, ok2 := p.Crossing(0.3*vdd, false)
+	if !ok1 || !ok2 || t30 >= t70 {
+		t.Fatalf("waveform does not exercise the out-of-order case: t70=%g(%v) t30=%g(%v)", t70, ok1, t30, ok2)
+	}
+	got := fallbackSlew(p, vdd, 150e-12, 60e-12)
+	if got != 150e-12 {
+		t.Errorf("non-monotonic fallback = %g, want the 150 ps input-slew bound (never a negative chord)", got)
+	}
+	if got2 := fallbackSlew(p, vdd, 0, 60e-12); got2 != 120e-12 {
+		t.Errorf("non-monotonic fallback without input slew = %g, want 2×delay = 120 ps", got2)
+	}
+}
+
+// TestFallbackSlewDegenerateVDD: with vdd ≈ 0 every threshold collapses to
+// the same level — whatever the crossings report, the estimate must stay
+// positive (downstream code divides by and compares against it).
+func TestFallbackSlewDegenerateVDD(t *testing.T) {
+	p := truncatedFall(t, 1e-30, 0, 1e-9)
+	for _, vdd := range []float64{0, 1e-30} {
+		if got := fallbackSlew(p, vdd, 0, 0); got <= 0 {
+			t.Errorf("vdd=%g: fallback slew %g must stay positive", vdd, got)
+		}
+		if got := fallbackSlew(p, vdd, 0, 40e-12); got <= 0 {
+			t.Errorf("vdd=%g with delay: fallback slew %g must stay positive", vdd, got)
+		}
+	}
+}
+
+// TestDiagnosticsHealthyWithTiers pins the health predicate and the String
+// rendering over the ladder fields: any direction below TierQWM, or any
+// recovered panic, must flip Healthy and show up in the summary line.
+func TestDiagnosticsHealthyWithTiers(t *testing.T) {
+	var clean Diagnostics
+	clean.TierCounts[TierQWM] = 8
+	if !clean.Healthy() {
+		t.Error("all-QWM diagnostics must be healthy")
+	}
+	if got := clean.String(); got != "0 eval errors, 0 slew fallbacks" {
+		t.Errorf("clean String() = %q (pinned format changed)", got)
+	}
+
+	var d Diagnostics
+	d.TierCounts[TierQWM] = 6
+	d.TierCounts[TierSpice] = 1
+	d.TierCounts[TierBound] = 1
+	d.Degraded = 2
+	d.EvalTier = map[string]string{"out~rise": "spice", "n1~fall": "rc-bound"}
+	if d.Healthy() {
+		t.Error("degraded diagnostics reported healthy")
+	}
+	if s := d.String(); !strings.Contains(s, "2 degraded (spice:1 rc-bound:1)") {
+		t.Errorf("String() = %q, want the tier inventory", s)
+	}
+
+	var p Diagnostics
+	p.PanicsRecovered = 1
+	if p.Healthy() {
+		t.Error("recovered panic reported healthy")
+	}
+	if s := p.String(); !strings.Contains(s, "1 panic recovered") {
+		t.Errorf("String() = %q, want the panic count", s)
+	}
+
+	if (Diagnostics{SlewFallbacks: 1}).Healthy() {
+		t.Error("slew fallback reported healthy")
 	}
 }
 

@@ -27,6 +27,11 @@ const (
 	mRegions        = "sta/qwm_regions"
 	mDenseFallbacks = "sta/qwm_dense_fallbacks"
 	mCapResolves    = "sta/qwm_cap_resolves"
+	mDegraded       = "sta/degraded"
+	mPanics         = "sta/panics_recovered"
+	// mTierPrefix + Tier.String() counts computed directions per ladder
+	// tier (e.g. "sta/tier_evals/qwm", "sta/tier_evals/rc-bound").
+	mTierPrefix = "sta/tier_evals/"
 
 	hNRItersPerEval = "sta/nr_iters_per_eval"
 	hRegionsPerEval = "sta/regions_per_eval"
@@ -54,6 +59,8 @@ type metricSet struct {
 	nrIters, regionsTotal    *obs.Counter
 	denseFallbacks           *obs.Counter
 	capResolves              *obs.Counter
+	degraded, panicsRec      *obs.Counter
+	tierEvals                [NumTiers]*obs.Counter
 	nrIterHist, regionHist   *obs.Histogram
 	evalSeconds              *obs.Histogram
 	levelSeconds, analyzeSec *obs.Histogram
@@ -63,7 +70,7 @@ func newMetricSet(r *obs.Registry) *metricSet {
 	if r == nil {
 		return nil
 	}
-	return &metricSet{
+	ms := &metricSet{
 		analyzes:       r.Counter(mAnalyzes),
 		cancels:        r.Counter(mCancelled),
 		cacheHits:      r.Counter(mCacheHits),
@@ -74,12 +81,18 @@ func newMetricSet(r *obs.Registry) *metricSet {
 		regionsTotal:   r.Counter(mRegions),
 		denseFallbacks: r.Counter(mDenseFallbacks),
 		capResolves:    r.Counter(mCapResolves),
+		degraded:       r.Counter(mDegraded),
+		panicsRec:      r.Counter(mPanics),
 		nrIterHist:     r.Histogram(hNRItersPerEval, nrIterBounds),
 		regionHist:     r.Histogram(hRegionsPerEval, regionBounds),
 		evalSeconds:    r.Histogram(hEvalSeconds, secondsBounds),
 		levelSeconds:   r.Histogram(hLevelSeconds, secondsBounds),
 		analyzeSec:     r.Histogram(hAnalyzeSeconds, secondsBounds),
 	}
+	for t := Tier(0); t < NumTiers; t++ {
+		ms.tierEvals[t] = r.Counter(mTierPrefix + t.String())
+	}
+	return ms
 }
 
 // recorder is the per-Analyze observation context: the request's Observer
@@ -161,6 +174,9 @@ func (r *recorder) stageEval(it *workItem, computed bool, d time.Duration) {
 			r.ms.nrIterHist.Observe(float64(st.NRIters))
 			r.ms.regionHist.Observe(float64(st.Regions))
 			r.ms.evalSeconds.Observe(d.Seconds())
+			if it.timing.ok {
+				r.ms.tierEvals[it.timing.tier].Inc()
+			}
 		}
 	}
 	if r.o != nil {
@@ -195,6 +211,8 @@ func (r *recorder) analyzeEnd(res *Result, err error) {
 		if res != nil {
 			r.ms.evalErrors.Add(int64(res.EvalErrors))
 			r.ms.slewFbs.Add(int64(res.SlewFallbacks))
+			r.ms.degraded.Add(int64(res.Degraded))
+			r.ms.panicsRec.Add(int64(res.PanicsRecovered))
 		}
 		r.ms.analyzeSec.Observe(time.Since(r.start).Seconds())
 	}

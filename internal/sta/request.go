@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qwm/internal/circuit"
+	"qwm/internal/faultinject"
 	"qwm/internal/obs"
 )
 
@@ -29,6 +30,23 @@ type Request struct {
 	// obs.Observer for the ordering and concurrency contract). Nil costs
 	// nothing: the engine never constructs an event or reads the clock.
 	Observer obs.Observer
+	// Budget bounds each stage-direction evaluation (Newton iterations
+	// and/or wall clock). Exhausting a budget aborts the running solver
+	// tier with ErrBudgetExceeded and escalates the degradation ladder; it
+	// never fails the Analyze. The zero value is unlimited.
+	//
+	// The delay cache is keyed by stage content, not by budget: mixing
+	// different budgets across requests on one shared Analyzer serves
+	// whichever configuration computed the entry first. Use a dedicated
+	// Analyzer per budget regime when that matters.
+	Budget EvalBudget
+	// Fault, when non-nil, arms the deterministic fault-injection hooks
+	// for this request (chaos mode — see internal/faultinject). Every
+	// injection decision is a pure hash of (seed, class, site key), so two
+	// runs at the same seed inject identical faults at any Workers
+	// setting. Nil (production) costs one predictable branch per site.
+	// The cache caveat above applies equally to Fault.
+	Fault *faultinject.Injector
 }
 
 // AnalyzeContext runs a full timing analysis for one request: the netlist
@@ -57,6 +75,12 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 		return nil, err
 	}
 
+	// Pre-flight validation: reject malformed netlists with a typed
+	// ErrInvalidNetlist before any solver (or cache) work happens.
+	if err := preflight(req.Netlist); err != nil {
+		return nil, err
+	}
+
 	stages := circuit.ExtractStages(req.Netlist, req.Outputs)
 	if len(stages) == 0 {
 		return nil, fmt.Errorf("sta: no logic stages found")
@@ -71,7 +95,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	}
 	levels, err := levelize(stages, producer)
 	if err != nil {
-		return nil, err
+		// A combinational loop is an input defect, not an engine failure:
+		// classify it with the rest of the pre-flight taxonomy.
+		return nil, fmt.Errorf("%w: %v", ErrInvalidNetlist, err)
 	}
 
 	// Fanout-load index: one pass over the netlist instead of a rescan of
@@ -82,6 +108,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Per-request evaluation environment: the budget and fault injector the
+	// worker-side degradation ladder reads. Shared read-only by all workers.
+	env := &evalEnv{budget: req.Budget, fault: req.Fault}
 
 	// Observation plumbing: rec is nil unless an observer or a metrics
 	// registry is attached, and every instrumentation site below is gated
@@ -158,7 +188,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 
 		// Evaluate phase (parallel): drain the level's items through the
 		// worker pool; the single-flight cache deduplicates identical keys.
-		if rerr := a.runItems(ctx, items, workers, rec); rerr != nil {
+		if rerr := a.runItems(ctx, items, workers, rec, env); rerr != nil {
 			return nil, rerr
 		}
 

@@ -34,6 +34,7 @@ import (
 
 	"qwm/internal/circuit"
 	"qwm/internal/devmodel"
+	"qwm/internal/faultinject"
 	"qwm/internal/mos"
 	"qwm/internal/obs"
 	"qwm/internal/qwm"
@@ -121,11 +122,26 @@ type Diagnostics struct {
 	// conservative fallback estimate rather than a clean 10–90 %
 	// measurement (the QWM tail was truncated before the 10 % point).
 	SlewFallbacks int
+	// TierCounts tallies, per degradation-ladder tier, how many
+	// stage-direction timings consulted by this Analyze were produced at
+	// that tier. A fully healthy run has every count in TierCounts[TierQWM].
+	TierCounts [NumTiers]int
+	// EvalTier maps "output~direction" to the tier name for every direction
+	// that resolved below TierQWM — the degraded-but-complete inventory.
+	EvalTier map[string]string
+	// Degraded counts the directions that resolved below TierQWM
+	// (len of EvalTier, kept as a counter for cheap health checks).
+	Degraded int
+	// PanicsRecovered counts evaluation panics converted to tier
+	// escalations by the worker-side recover isolation.
+	PanicsRecovered int
 }
 
 // Healthy reports a clean analysis: no failed directions, no slew
-// fallbacks.
-func (d Diagnostics) Healthy() bool { return d.EvalErrors == 0 && d.SlewFallbacks == 0 }
+// fallbacks, nothing resolved below the QWM tier, no recovered panics.
+func (d Diagnostics) Healthy() bool {
+	return d.EvalErrors == 0 && d.SlewFallbacks == 0 && d.Degraded == 0 && d.PanicsRecovered == 0
+}
 
 // String renders a one-line summary, with the failed directions (sorted)
 // when there are any:
@@ -135,6 +151,24 @@ func (d Diagnostics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d eval error%s, %d slew fallback%s",
 		d.EvalErrors, plural(d.EvalErrors), d.SlewFallbacks, plural(d.SlewFallbacks))
+	if d.Degraded > 0 {
+		fmt.Fprintf(&b, ", %d degraded (", d.Degraded)
+		first := true
+		for t := TierQWM + 1; t < NumTiers; t++ {
+			if d.TierCounts[t] == 0 {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s:%d", t, d.TierCounts[t])
+			first = false
+		}
+		b.WriteByte(')')
+	}
+	if d.PanicsRecovered > 0 {
+		fmt.Fprintf(&b, ", %d panic%s recovered", d.PanicsRecovered, plural(d.PanicsRecovered))
+	}
 	if len(d.EvalErrorDetail) > 0 {
 		keys := make([]string, 0, len(d.EvalErrorDetail))
 		for k := range d.EvalErrorDetail {
@@ -258,6 +292,17 @@ func (r *Result) recordEvalIssues(out string, fall, rise dirTiming) {
 		if d.t.slewFellBack {
 			r.SlewFallbacks++
 		}
+		if d.t.ok {
+			r.TierCounts[d.t.tier]++
+			if d.t.tier > TierQWM {
+				r.Degraded++
+				if r.EvalTier == nil {
+					r.EvalTier = map[string]string{}
+				}
+				r.EvalTier[out+"~"+d.name] = d.t.tier.String()
+			}
+		}
+		r.PanicsRecovered += d.t.panics
 	}
 }
 
@@ -285,7 +330,7 @@ func gatherInputs(st *circuit.Stage, arrivals map[string]Arrival) stageInputs {
 // completion (the single-flight cache must never hold a pending entry), and
 // runItems joins all workers before returning ctx.Err() — no goroutine
 // outlives the call.
-func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, rec *recorder) error {
+func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, rec *recorder, env *evalEnv) error {
 	if workers > len(items) {
 		workers = len(items)
 	}
@@ -294,7 +339,7 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			a.evalItem(&items[i], rec)
+			a.evalItem(&items[i], rec, env)
 		}
 		return nil
 	}
@@ -309,7 +354,7 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 				if i >= len(items) {
 					return
 				}
-				a.evalItem(&items[i], rec)
+				a.evalItem(&items[i], rec, env)
 			}
 		}()
 	}
@@ -327,19 +372,19 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 // metrics registry are attached, and the fast path then performs exactly
 // the work it did before observability existed (no clock reads, no event
 // structs).
-func (a *Analyzer) evalItem(it *workItem, rec *recorder) {
+func (a *Analyzer) evalItem(it *workItem, rec *recorder, env *evalEnv) {
 	key := it.ev.contentKey + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
 	compute := func() dirTiming {
 		a.cache.evals.Add(1)
-		r, err := a.evalDirection(it.st, it.out, it.rail, it.ev.loads, it.inSlew)
-		if err != nil {
-			// No conducting path to this rail, or the evaluation failed:
-			// the direction contributes no arrival (the apply phase errors
-			// only if both directions are missing) but the failure is
-			// recorded on the Result instead of being swallowed.
-			return dirTiming{errMsg: err.Error(), stats: r.stats}
-		}
-		return dirTiming{delay: r.delay, slew: r.slew, slewFellBack: r.slewFellBack, ok: true, stats: r.stats}
+		// Fault site: a brief sleep inside the single-flight compute,
+		// simulating shard contention or a slow leader; results must be
+		// bit-for-bit unaffected (latency-only fault).
+		env.fault.Stall(faultinject.CacheStall, key)
+		// Resolve through the degradation ladder. A direction with no
+		// conducting path to this rail stays failed (the apply phase errors
+		// only if both directions are missing); numerical failures escalate
+		// tier by tier and come back degraded-but-complete.
+		return a.evalLadder(env, it.st, it.out, it.rail, it.ev.loads, it.inSlew, key)
 	}
 	if rec == nil {
 		it.timing, _ = a.cache.getOrCompute(key, compute)
@@ -367,44 +412,17 @@ type dirResult struct {
 	stats        qwm.Stats
 }
 
-// evalDirection evaluates the worst path to one rail with the canonical
-// worst-case stimulus: the rail-side input switches at t = 0 — as an ideal
-// step when inSlew is zero, otherwise as a ramp with the upstream stage's
-// transition time — every other path input is held conducting, and the
-// path nodes start precharged (discharge) or pre-discharged (charge).
-func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[string]float64, inSlew float64) (dirResult, error) {
-	path, err := circuit.LongestPath(st, out, rail)
-	if err != nil {
-		return dirResult{}, err
-	}
+// evalQWMPath evaluates one direction's worst path with the QWM engine
+// under the canonical worst-case stimulus: the rail-side input switches at
+// t = 0 — as an ideal step when inSlew is zero, otherwise as a ramp with the
+// upstream stage's transition time — every other path input is held
+// conducting, and the path nodes start precharged (discharge) or
+// pre-discharged (charge). opts carries the tier's solver configuration
+// (budgets, fault plumbing, ForceBisection for the rescue tier).
+func (a *Analyzer) evalQWMPath(st *circuit.Stage, path *circuit.Path, out, rail string, loads map[string]float64, inSlew float64, opts qwm.Options) (dirResult, error) {
 	vdd := a.Tech.VDD
-	inputs := map[string]wave.Waveform{}
-	onLevel, offLevel := vdd, 0.0
-	if rail == circuit.SupplyNode {
-		onLevel, offLevel = 0, vdd // PMOS conducts with a low gate
-	}
-	var sw wave.Waveform = wave.Step{At: 0, Low: offLevel, High: onLevel}
-	tIn := 0.0
-	if inSlew > 0 {
-		// The 10–90 % slew spans 80 % of the swing; the full ramp is 1.25×.
-		full := 1.25 * inSlew
-		sw = wave.Ramp{T0: 0, T1: full, Low: offLevel, High: onLevel}
-		tIn = full / 2
-	}
-	first := true
-	for _, pe := range path.Elems {
-		if pe.Edge.Kind == circuit.KindWire {
-			continue
-		}
-		if first {
-			inputs[pe.Edge.Gate] = sw
-			first = false
-			continue
-		}
-		if _, dup := inputs[pe.Edge.Gate]; !dup {
-			inputs[pe.Edge.Gate] = wave.DC(onLevel)
-		}
-	}
+	sw, onLevel, tIn := stimulus(vdd, rail, inSlew)
+	inputs := pathInputs(path, sw, onLevel)
 	ch, err := qwm.Build(qwm.BuildInput{
 		Tech: a.Tech, Lib: a.Lib, Stage: st, Path: path,
 		Inputs: inputs, Loads: loads,
@@ -412,7 +430,7 @@ func (a *Analyzer) evalDirection(st *circuit.Stage, out, rail string, loads map[
 	if err != nil {
 		return dirResult{}, err
 	}
-	res, err := qwm.Evaluate(ch, a.Opts)
+	res, err := qwm.Evaluate(ch, opts)
 	if err != nil {
 		return dirResult{}, err
 	}
