@@ -1,15 +1,15 @@
 # CI entry points for the qwm repository. `make ci` is the gate a change
 # must pass: vet, build, the targeted observability race suite, the full
-# test suite under the race detector, a smoke run of the STA-parallel,
-# solver-kernel and observed-analyze benchmarks, a small-budget
-# differential-verification sweep, and a small fault-injection (chaos)
-# sweep over every fault class.
+# test suite under the race detector, the trace-export and ops-server
+# lifecycle smokes, a smoke run of the STA-parallel, solver-kernel and
+# observed-analyze benchmarks, a small-budget differential-verification
+# sweep, and a small fault-injection (chaos) sweep over every fault class.
 
 GO ?= go
 
-.PHONY: ci vet build test race race-obs bench bench-full verify verify-full chaos chaos-full
+.PHONY: ci vet build test race race-obs trace-smoke leak-check bench bench-full bench-json verify verify-full chaos chaos-full
 
-ci: vet build race-obs race bench verify chaos
+ci: vet build race-obs race trace-smoke leak-check bench verify chaos
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,18 @@ race:
 race-obs:
 	$(GO) test -race ./internal/sta/... ./internal/obs/... ./internal/faultinject/...
 
+# Trace-export smoke: record a full decoder analysis, validate the exported
+# Chrome trace (balanced spans, one eval span per work item, args intact)
+# and assert the deterministic rendering is byte-identical at Workers 1
+# and 8.
+trace-smoke:
+	$(GO) test -run 'TestTraceDecoderSmoke|TestTraceDeterministicWorkersByteIdentical' -count=1 ./internal/sta/
+
+# Ops-server lifecycle gate: repeated Start/Shutdown cycles must join the
+# serve goroutine and leak nothing.
+leak-check:
+	$(GO) test -run 'TestServerStartShutdownNoLeak' -count=1 ./internal/obs/
+
 # One-iteration smoke of the perf-critical benchmarks: the parallel STA
 # engine at every worker width, the in-place linear-solver kernels, and the
 # observability-overhead comparison (bare vs observer vs metrics).
@@ -43,6 +55,15 @@ bench:
 # Full benchmark sweep (regenerates every table/figure; slow).
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Machine-readable benchmark snapshot: run the engine-level benchmarks
+# (parallel STA, warm-cache lookup, observability overhead) and convert the
+# text stream into benchstat-compatible JSON at the repo root, stamped with
+# today's date.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'STAParallel' -benchtime 1x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved' -benchtime 1x -benchmem ./internal/sta/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
 
 # Small-budget differential verification: 25 seeded stage netlists checked
 # QWM-vs-SPICE, plus cached/uncached and serial/parallel equivalence (and

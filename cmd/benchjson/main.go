@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` text output into a
+// benchstat-compatible JSON document. It reads the benchmark stream from
+// stdin (or the files given as arguments), parses every result line and the
+// goos/goarch/pkg/cpu preamble, and writes one JSON object:
+//
+//	go test -run '^$' -bench STAParallel -benchmem . | benchjson -o BENCH_2026-08-06.json
+//
+// Each benchmark entry carries the canonical fields (name, n, ns_per_op,
+// bytes_per_op, allocs_per_op) plus any custom -ReportMetric units under
+// "metrics", so downstream tooling — benchstat after a trivial re-render,
+// jq, a dashboard — can consume runs without scraping text. Lines that are
+// not benchmark results are ignored; a stream with no results is an error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -cpu suffix (e.g. "BenchmarkSTAParallel/workers=4-8").
+	Name string `json:"name"`
+	// Pkg is the package under test, from the closest preceding "pkg:" line.
+	Pkg string `json:"pkg,omitempty"`
+	// N is the iteration count.
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other "value unit" pair on the line (custom
+	// b.ReportMetric units, MB/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Date       string   `json:"date"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to this file (default: stdout)")
+	flag.Parse()
+	var readers []io.Reader
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	doc, err := Parse(io.MultiReader(readers...))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(doc.Benchmarks), *out)
+		return
+	}
+	os.Stdout.Write(b)
+}
+
+// Parse consumes a `go test -bench` text stream and builds the document.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Date: time.Now().Format("2006-01-02")}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" continuation header
+			}
+			res.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return doc, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   125  9300125 ns/op  1168 B/op  23 allocs/op  4.5 extra/unit
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: f[0], N: n}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := int64(v)
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			res.AllocsPerOp = &a
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, seen
+}

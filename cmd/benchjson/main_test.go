@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: qwm
+cpu: AMD EPYC 7B13
+BenchmarkSTAParallel/workers=1-8         	       3	 355210143 ns/op	 8123456 B/op	   91234 allocs/op
+BenchmarkSTAParallel/workers=8-8         	      10	 105210143 ns/op	 8223456 B/op	   91334 allocs/op
+PASS
+ok  	qwm	2.511s
+pkg: qwm/internal/sta
+BenchmarkWarmCacheLookup-8               	    1024	   1045000 ns/op	   98304 B/op	    1168 allocs/op
+BenchmarkAnalyzeObserved/bare-8          	      12	  95000000 ns/op	      42.5 events/op	  512000 B/op	    6100 allocs/op
+some unrelated chatter
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("preamble: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkSTAParallel/workers=1-8" || b0.N != 3 || b0.NsPerOp != 355210143 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Pkg != "qwm" {
+		t.Fatalf("b0 pkg = %q", b0.Pkg)
+	}
+	warm := doc.Benchmarks[2]
+	if warm.Name != "BenchmarkWarmCacheLookup-8" || warm.Pkg != "qwm/internal/sta" {
+		t.Fatalf("warm = %+v", warm)
+	}
+	if warm.AllocsPerOp == nil || *warm.AllocsPerOp != 1168 {
+		t.Fatalf("warm allocs = %v", warm.AllocsPerOp)
+	}
+	if warm.BytesPerOp == nil || *warm.BytesPerOp != 98304 {
+		t.Fatalf("warm bytes = %v", warm.BytesPerOp)
+	}
+	obs := doc.Benchmarks[3]
+	if obs.Metrics["events/op"] != 42.5 {
+		t.Fatalf("custom metric lost: %+v", obs.Metrics)
+	}
+	if doc.Date == "" {
+		t.Fatal("date empty")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok qwm 1s\n")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestParseLineEdgeCases(t *testing.T) {
+	if _, ok := parseLine("BenchmarkFoo"); ok {
+		t.Error("bare header accepted")
+	}
+	if _, ok := parseLine("BenchmarkFoo 12 nonsense ns/op"); ok {
+		t.Error("non-numeric value accepted")
+	}
+	res, ok := parseLine("BenchmarkFoo-4 100 250.5 ns/op")
+	if !ok || res.NsPerOp != 250.5 || res.BytesPerOp != nil {
+		t.Errorf("minimal line: %+v ok=%v", res, ok)
+	}
+}

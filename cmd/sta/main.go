@@ -22,6 +22,15 @@
 // transient, conservative RC bound — so the report is always complete; a
 // run that used any fallback tier prints a DEGRADED line with the
 // per-direction tier inventory.
+//
+// Ops surface: -trace FILE records the analysis as Chrome trace-event JSON
+// (load it in Perfetto; -trace-deterministic writes the schedule-independent
+// variant instead). -serve ADDR keeps the process alive after the analysis
+// and serves /metrics (Prometheus), /healthz (503 while the last run is
+// degraded), /trace, /debug/vars and /debug/pprof/ until SIGINT/SIGTERM.
+//
+//	sta -deck decoder.sp -outputs y0,y1 -trace run.trace.json
+//	sta -deck decoder.sp -outputs y0,y1 -serve :8080
 package main
 
 import (
@@ -29,8 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"qwm/internal/devmodel"
 	"qwm/internal/mos"
@@ -46,20 +58,35 @@ func main() {
 		outputs  = flag.String("outputs", "out", "comma-separated primary outputs")
 		verbose  = flag.Bool("v", false, "print the arrival of every net")
 		workers  = flag.Int("workers", 0, "stage evaluations in flight per level (0 = GOMAXPROCS, 1 = serial)")
-		stats    = flag.Bool("cache-stats", false, "print delay-cache hit/miss/evaluation counters")
+		stats    = flag.Bool("cache-stats", false, "print delay-cache hit/miss/evaluation counters plus p50/p95/p99 solver quantiles")
 		metrics  = flag.Bool("metrics-json", false, "dump the metrics registry (counters + histograms) as JSON")
 		nrBudget = flag.Int("nr-budget", 0, "per-evaluation Newton-iteration budget (0 = unlimited); exhaustion degrades the tier, never fails the run")
 		wallB    = flag.Duration("wall-budget", 0, "per-evaluation wall-clock budget (0 = unlimited)")
+		trace    = flag.String("trace", "", "write the analysis as Chrome trace-event JSON to this file")
+		traceDet = flag.Bool("trace-deterministic", false, "write the deterministic trace variant (synthetic clock, schedule-independent; byte-identical at any -workers)")
+		serve    = flag.String("serve", "", "after the analysis, serve the ops endpoints (/metrics /healthz /trace /debug/vars /debug/pprof/) on this address until SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	budget := sta.EvalBudget{NRIters: *nrBudget, Wall: *wallB}
-	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, *stats, *metrics, budget); err != nil {
+	opts := opsOptions{
+		stats: *stats, metricsJSON: *metrics,
+		tracePath: *trace, traceDet: *traceDet, serveAddr: *serve,
+	}
+	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, budget, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sta:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, metricsJSON bool, budget sta.EvalBudget) error {
+// opsOptions bundles the observability flags.
+type opsOptions struct {
+	stats, metricsJSON bool
+	tracePath          string
+	traceDet           bool
+	serveAddr          string
+}
+
+func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta.EvalBudget, ops opsOptions) error {
 	in := os.Stdin
 	if deckPath != "" {
 		f, err := os.Open(deckPath)
@@ -98,13 +125,21 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, met
 	tech := mos.CMOSP35()
 	a := sta.New(tech, devmodel.NewLibrary(tech))
 	a.Workers = workers
-	if metricsJSON {
+	if ops.metricsJSON || ops.stats || ops.serveAddr != "" {
 		a.Metrics = obs.NewRegistry()
-		a.Metrics.Publish("sta")
+		if !a.Metrics.Publish("sta") {
+			fmt.Fprintln(os.Stderr, `sta: expvar name "sta" already taken; /debug/vars will not show this registry`)
+		}
 	}
-	res, err := a.AnalyzeContext(context.Background(), sta.Request{
+	var recorder *obs.TraceRecorder
+	req := sta.Request{
 		Netlist: deck.Netlist, Primary: primary, Outputs: outs, Budget: budget,
-	})
+	}
+	if ops.tracePath != "" || ops.serveAddr != "" {
+		recorder = obs.NewTraceRecorder()
+		req.Observer = recorder
+	}
+	res, err := a.AnalyzeContext(context.Background(), req)
 	if err != nil {
 		return err
 	}
@@ -117,13 +152,14 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, met
 		// must see which directions came from a fallback tier.
 		fmt.Printf("DEGRADED: %s\n", res.Diagnostics)
 	}
-	if stats {
+	if ops.stats {
 		cs := a.CacheStats()
 		fmt.Printf("delay cache: %d hits, %d misses, %d evaluations, %d entries\n",
 			cs.Hits, cs.Misses, cs.Evaluations, cs.Entries)
 		fmt.Printf("diagnostics: %s\n", res.Diagnostics)
+		printQuantiles(a.Metrics.Snapshot())
 	}
-	if metricsJSON {
+	if ops.metricsJSON {
 		js, jerr := a.Metrics.Snapshot().JSON()
 		if jerr != nil {
 			return jerr
@@ -142,5 +178,71 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, stats, met
 			fmt.Printf("  %-10s rise %.4g  fall %.4g\n", n, ar.Rise, ar.Fall)
 		}
 	}
+	if ops.tracePath != "" {
+		t := recorder.Trace()
+		if ops.traceDet {
+			t = t.Deterministic()
+		}
+		b, err := t.JSON()
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := os.WriteFile(ops.tracePath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "sta: trace written to %s\n", ops.tracePath)
+	}
+	if ops.serveAddr != "" {
+		return serveOps(ops.serveAddr, a.Metrics, recorder, res)
+	}
 	return nil
+}
+
+// printQuantiles renders the p50/p95/p99 of the per-evaluation solver
+// histograms (bucket-interpolated, see obs.HistSnapshot.Quantile). A warm
+// all-hit run performs no evaluations and prints nothing.
+func printQuantiles(snap obs.Snapshot) {
+	rows := []struct{ label, metric, unit string }{
+		{"eval latency", sta.MetricEvalSeconds, "s"},
+		{"NR iters/eval", sta.MetricNRItersPerEval, ""},
+		{"regions/eval", sta.MetricRegionsPerEval, ""},
+	}
+	for _, row := range rows {
+		h, ok := snap.Histograms[row.metric]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-14s p50 %.3g%s  p95 %.3g%s  p99 %.3g%s  (n=%d)\n",
+			row.label+":",
+			h.Quantile(0.50), row.unit, h.Quantile(0.95), row.unit,
+			h.Quantile(0.99), row.unit, h.Count)
+	}
+}
+
+// serveOps blocks serving the ops endpoints until SIGINT/SIGTERM, then shuts
+// the listener down gracefully. Health reflects the completed analysis: 503
+// while its diagnostics report degradation.
+func serveOps(addr string, reg *obs.Registry, recorder *obs.TraceRecorder, res *sta.Result) error {
+	srv := &obs.Server{
+		Registry: reg,
+		Trace:    recorder,
+		Health: func() (bool, string) {
+			if res.Diagnostics.Healthy() {
+				return true, "ok"
+			}
+			return false, res.Diagnostics.String()
+		},
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sta: ops server on http://%s (/metrics /healthz /trace /debug/vars /debug/pprof/); ctrl-c to stop\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }

@@ -33,6 +33,7 @@ func main() {
 		outPath = flag.String("o", "", "write the JSON report to this file (default: stdout)")
 		verbose = flag.Bool("v", false, "print per-case progress to stderr")
 		metrics = flag.Bool("metrics-json", false, "collect STA engine metrics across the sweep and embed the snapshot in the report")
+		dumpDir = flag.String("dump-worst", "", "after the sweep, re-run the worst-error stage case with waveform capture and write a forensic bundle (case/waveforms/trace/metrics JSON) into this directory")
 
 		chaos     = flag.Bool("chaos", false, "run the fault-injection sweep instead: every case re-run under each fault class (see internal/faultinject)")
 		chaosN    = flag.Int("chaos-n", 6, "number of generated analyze cases in the chaos sweep")
@@ -46,7 +47,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*seed, *n, *tol, *workers, *outPath, *verbose, *metrics); err != nil {
+	if err := run(*seed, *n, *tol, *workers, *outPath, *dumpDir, *verbose, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
@@ -86,14 +87,17 @@ func runChaos(seed int64, n int, rate float64, workers int, outPath string, verb
 	return nil
 }
 
-func run(seed int64, n int, tol float64, workers int, outPath string, verbose, metrics bool) error {
+func run(seed int64, n int, tol float64, workers int, outPath, dumpDir string, verbose, metrics bool) error {
 	cfg := verify.Config{Seed: seed, N: n, TolPct: tol, Workers: workers}
 	if verbose {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if metrics {
+	// -dump-worst implies metrics collection: the forensic bundle is
+	// supposed to be self-contained (waveforms + trace + metrics), so the
+	// sweep's engine-metrics snapshot must exist for DumpWorst to embed.
+	if metrics || dumpDir != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	rep, err := verify.Run(cfg)
@@ -110,6 +114,18 @@ func run(seed int64, n int, tol float64, workers int, outPath string, verbose, m
 		}
 	} else {
 		fmt.Println(string(b))
+	}
+
+	// The forensic dump runs before the gate check on purpose: a failing
+	// sweep is exactly when the worst-case bundle is wanted.
+	if dumpDir != "" {
+		bundle, err := verify.DumpWorst(rep, dumpDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify: dump-worst:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "verify: dump-worst: case %s (err %.2f%%) -> %s (%d files)\n",
+				bundle.Case.Name, bundle.Case.DelayErrPct, dumpDir, len(bundle.Files))
+		}
 	}
 
 	s := rep.Summary

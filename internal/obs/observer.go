@@ -79,6 +79,16 @@ type StageEvalInfo struct {
 	// QWM carries the solver statistics of the evaluation that produced
 	// this entry.
 	QWM QWMStats
+	// Tier names the degradation-ladder rung that produced this timing
+	// ("qwm", "qwm-bisect", "spice", "rc-bound"); empty when the direction
+	// failed outright. Like the solver stats, it is a property of the cached
+	// entry and therefore deterministic at any Workers setting.
+	Tier string
+	// Worker is the 0-based worker-pool slot that resolved this item: 0 on
+	// the serial path, arbitrary under Workers > 1. Schedule-dependent by
+	// nature — consumers asserting determinism must ignore it (the trace
+	// exporter's Deterministic mode strips it).
+	Worker int
 	// Err is non-empty when the direction's evaluation failed (no
 	// conducting path or a convergence failure).
 	Err string

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter becomes a `counter` family and every
+// fixed-bucket histogram becomes a `histogram` family with cumulative
+// `_bucket` series ending in `le="+Inf"`, plus `_sum` and `_count`. Metric
+// names are sanitized with PromName (the registry's slash-separated paths
+// become underscore-joined Prometheus names), and families are emitted in
+// sorted name order so two equal snapshots expose byte-identical pages.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type family struct {
+		name string // sanitized
+		emit func(io.Writer) error
+	}
+	fams := make([]family, 0, len(s.Counters)+len(s.Histograms))
+
+	for name, v := range s.Counters {
+		name, v := name, v
+		pn := PromName(name)
+		fams = append(fams, family{name: pn, emit: func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				pn, helpText(name), pn, pn, v); err != nil {
+				return err
+			}
+			return nil
+		}})
+	}
+	for name, h := range s.Histograms {
+		name, h := name, h
+		pn := PromName(name)
+		fams = append(fams, family{name: pn, emit: func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+				pn, helpText(name), pn); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, b := range h.Bounds {
+				if i < len(h.Counts) {
+					cum += h.Counts[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			// The +Inf bucket is the total count: the overflow bucket folds in.
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				pn, formatFloat(h.Sum), pn, h.Count); err != nil {
+				return err
+			}
+			return nil
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromName sanitizes a registry metric name into a valid Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_' (so the
+// registry's "sta/time/eval_seconds" exposes as "sta_time_eval_seconds"),
+// and a leading digit gets a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// helpText renders the HELP line content: the original registry name (which
+// carries the path structure the sanitized name flattens), with newlines and
+// backslashes escaped per the exposition format.
+func helpText(name string) string {
+	r := strings.NewReplacer("\\", "\\\\", "\n", "\\n")
+	return "qwm registry metric " + r.Replace(name)
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, no exponent mangling needed.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promNameRe    = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promCommentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSampleRe  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? (-?[0-9.eE+-]+|NaN)$`)
+)
+
+func buildPromSnapshot() Snapshot {
+	r := NewRegistry()
+	r.Counter("sta/analyzes").Add(3)
+	r.Counter("sta/cache_hits").Add(41)
+	r.Counter("sta/tier_evals/rc-bound").Add(2) // '-' needs sanitizing
+	h := r.Histogram("sta/nr_iters_per_eval", []float64{1, 2, 4, 8})
+	for _, v := range []float64{1, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	ht := r.Histogram("sta/time/eval_seconds", []float64{1e-6, 1e-3, 1})
+	ht.Observe(5e-4)
+	return r.Snapshot()
+}
+
+// TestWritePrometheusParses: every emitted line must be a valid exposition
+// line — a HELP/TYPE comment or a sample with an optional le label.
+func TestWritePrometheusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildPromSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition does not end with a newline")
+	}
+	types := map[string]string{}
+	var lastType, lastName string
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promCommentRe.MatchString(line) {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			f := strings.Fields(line)
+			if f[1] == "TYPE" {
+				lastType, lastName = f[3], f[2]
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name := m[1]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if base != lastName && name != lastName {
+			t.Fatalf("line %d: sample %q outside its family (last TYPE %q)", ln+1, name, lastName)
+		}
+		if !promNameRe.MatchString(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		if m[2] != "" && lastType != "histogram" {
+			t.Fatalf("line %d: le label on non-histogram %q", ln+1, name)
+		}
+	}
+	if types["sta_analyzes"] != "counter" || types["sta_nr_iters_per_eval"] != "histogram" {
+		t.Fatalf("TYPE lines missing or wrong: %v", types)
+	}
+	if !strings.Contains(out, "sta_tier_evals_rc_bound 2") {
+		t.Errorf("sanitized tier counter missing:\n%s", out)
+	}
+}
+
+// TestWritePrometheusHistogramContract pins the histogram series shape:
+// cumulative buckets in bound order, a final +Inf bucket equal to _count,
+// and a _sum consistent with the observations.
+func TestWritePrometheusHistogramContract(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildPromSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type bucket struct {
+		le  string
+		val int64
+	}
+	var buckets []bucket
+	var count int64 = -1
+	var sum float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "sta_nr_iters_per_eval_bucket{"):
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed bucket line %q", line)
+			}
+			v, _ := strconv.ParseInt(m[4], 10, 64)
+			buckets = append(buckets, bucket{le: m[3], val: v})
+		case strings.HasPrefix(line, "sta_nr_iters_per_eval_count "):
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, "sta_nr_iters_per_eval_sum "):
+			sum, _ = strconv.ParseFloat(strings.Fields(line)[1], 64)
+		}
+	}
+	// Observations were 1,3,3,7,100 over bounds 1,2,4,8:
+	// cumulative ≤1:1 ≤2:1 ≤4:3 ≤8:4 +Inf:5.
+	want := []bucket{{"1", 1}, {"2", 1}, {"4", 3}, {"8", 4}, {"+Inf", 5}}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", buckets, want)
+	}
+	for i, b := range buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b, want[i])
+		}
+		if i > 0 && b.val < buckets[i-1].val {
+			t.Fatalf("buckets not cumulative at %d: %v", i, buckets)
+		}
+	}
+	if buckets[len(buckets)-1].le != "+Inf" {
+		t.Fatal("bucket series does not end with +Inf")
+	}
+	if count != 5 || buckets[len(buckets)-1].val != count {
+		t.Fatalf("count = %d, +Inf bucket = %d, want both 5", count, buckets[len(buckets)-1].val)
+	}
+	if sum != 114 {
+		t.Fatalf("sum = %g, want 114", sum)
+	}
+}
+
+// TestWritePrometheusDeterministic: equal snapshots expose byte-identical
+// pages (families in sorted order, map iteration not leaking through).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildPromSnapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildPromSnapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two expositions of equal snapshots differ")
+	}
+	// Empty snapshot: valid (and empty) output, no error.
+	var e bytes.Buffer
+	if err := (Snapshot{}).WritePrometheus(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("empty snapshot exposed %q", e.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sta/analyzes", "sta_analyzes"},
+		{"sta/time/eval_seconds", "sta_time_eval_seconds"},
+		{"sta/tier_evals/rc-bound", "sta_tier_evals_rc_bound"},
+		{"0weird", "_0weird"},
+		{"a:b_c9", "a:b_c9"},
+		{"sp ace", "sp_ace"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if !promNameRe.MatchString(PromName(c.in)) {
+			t.Errorf("PromName(%q) = %q is not a valid metric name", c.in, PromName(c.in))
+		}
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	snap := buildPromSnapshot()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snap.WritePrometheus(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprint(buf.Len())
+}

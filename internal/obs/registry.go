@@ -234,6 +234,52 @@ type HistSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the recorded
+// distribution by linear interpolation within the bucket that contains the
+// target rank — the same estimator Prometheus's histogram_quantile uses.
+// The first bucket interpolates over (0, Bounds[0]] (observations are
+// assumed non-negative, as every engine metric is); a rank landing in the
+// overflow bucket returns the last finite bound, since the bucket has no
+// upper edge to interpolate toward. An empty histogram returns NaN, and q
+// outside [0, 1] is clamped.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		if i >= len(h.Counts) {
+			break
+		}
+		n := h.Counts[i]
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(b-lo)
+		}
+		cum += n
+	}
+	// Target rank sits in the overflow bucket (> last bound): no upper edge,
+	// report the best lower bound we have.
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a frozen copy of a registry: plain maps, safe to marshal,
 // merge and diff. encoding/json sorts map keys, so two snapshots with equal
 // contents marshal to byte-identical JSON — the property the engine's
@@ -351,14 +397,20 @@ func (s Snapshot) JSON() ([]byte, error) {
 var publishMu sync.Mutex
 
 // Publish registers the registry on the process-wide expvar namespace under
-// name; /debug/vars then serves live snapshots. Publishing the same name
-// twice is a no-op (the first registration wins), so CLI tools and tests
-// can call it unconditionally.
-func (r *Registry) Publish(name string) {
+// name; /debug/vars then serves live snapshots. It reports whether the
+// registration took effect: expvar has no unpublish, so a name that is
+// already taken (by an earlier Publish or any other expvar user) keeps its
+// first registration and Publish returns false. It used to swallow that
+// collision silently, which made a second registry published under the same
+// name serve the FIRST registry's numbers with no indication anything was
+// wrong — callers that care (the ops server, CLI tools wiring /debug/vars)
+// must check the return and pick a distinct name.
+func (r *Registry) Publish(name string) bool {
 	publishMu.Lock()
 	defer publishMu.Unlock()
 	if expvar.Get(name) != nil {
-		return
+		return false
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return true
 }

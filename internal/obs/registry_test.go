@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 )
@@ -19,9 +20,9 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		v    float64
 		want int // bucket index
 	}{
-		{-3, 0},   // below every bound: first bucket
+		{-3, 0}, // below every bound: first bucket
 		{0, 0},
-		{1, 0},    // exactly on a bound: that bucket
+		{1, 0}, // exactly on a bound: that bucket
 		{1.0001, 1},
 		{2, 1},
 		{2.5, 2},
@@ -279,8 +280,19 @@ func TestDeterministicStripsTimingMetrics(t *testing.T) {
 func TestPublishExpvar(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("published").Add(9)
-	r.Publish("obs_test_registry")
-	r.Publish("obs_test_registry") // duplicate must not panic
+	if !r.Publish("obs_test_registry") {
+		t.Fatal("first Publish returned false")
+	}
+	// Duplicate names must be reported, not silently swallowed (expvar has
+	// no unpublish, so the caller needs to know its registry is invisible).
+	if r.Publish("obs_test_registry") {
+		t.Fatal("duplicate Publish returned true")
+	}
+	other := NewRegistry()
+	other.Counter("shadowed").Add(1)
+	if other.Publish("obs_test_registry") {
+		t.Fatal("Publish over another registry's name returned true")
+	}
 	v := expvar.Get("obs_test_registry")
 	if v == nil {
 		t.Fatal("registry not published on expvar")
@@ -291,5 +303,63 @@ func TestPublishExpvar(t *testing.T) {
 	}
 	if parsed.Counters["published"] != 9 {
 		t.Errorf("expvar snapshot counter = %d, want 9", parsed.Counters["published"])
+	}
+	if _, ok := parsed.Counters["shadowed"]; ok {
+		t.Error("rejected Publish replaced the original registry's expvar")
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	// 100 observations of v=i+0.5 for i in [0,100): uniform over (0, 100].
+	h := NewHistogram([]float64{10, 20, 50, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	s := h.snapshot()
+	cases := []struct{ q, want float64 }{
+		{0.10, 10}, // rank 10 is exactly the first bucket's full count
+		{0.05, 5},  // half-way through (0,10]
+		{0.50, 50}, // rank 50 fills the (20,50] bucket exactly
+		{0.95, 95}, // 45/50 through (50,100]
+		{1.00, 100},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// Skewed distribution: 90 small, 10 large.
+	h2 := NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(50)
+	}
+	s2 := h2.snapshot()
+	if got := s2.Quantile(0.5); math.Abs(got-0.5556) > 1e-3 {
+		t.Errorf("skewed p50 = %g, want ~0.556 (rank 50 of 90 in (0,1])", got)
+	}
+	if got := s2.Quantile(0.99); !(got > 10 && got <= 100) {
+		t.Errorf("skewed p99 = %g, want inside (10,100]", got)
+	}
+
+	// Overflow bucket: every observation above the last bound clamps to it.
+	h3 := NewHistogram([]float64{1, 2})
+	h3.Observe(1000)
+	if got := h3.snapshot().Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %g, want last bound 2", got)
+	}
+
+	// Empty histogram and clamping.
+	if got := (HistSnapshot{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %g, want NaN", got)
+	}
+	if got := s.Quantile(-1); math.Abs(got-s.Quantile(0)) > 1e-12 {
+		t.Errorf("q<0 not clamped: %g", got)
+	}
+	if got := s.Quantile(2); math.Abs(got-s.Quantile(1)) > 1e-12 {
+		t.Errorf("q>1 not clamped: %g", got)
 	}
 }

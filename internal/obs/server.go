@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the engine's ops/debug HTTP surface: Prometheus metrics, expvar,
+// pprof, a health probe and the last recorded Chrome trace, all served from
+// one mux. The zero value is usable (every endpoint degrades gracefully when
+// its backing component is nil); populate the fields, then either mount
+// Handler on an existing server or call Start/Shutdown for a managed
+// listener with graceful shutdown.
+//
+//	/            endpoint index (text)
+//	/metrics     Prometheus text exposition of Registry.Snapshot()
+//	/healthz     200 "ok" when Health() is clean, 503 + detail when degraded
+//	/trace       the recorder's trace as Chrome trace-event JSON (download);
+//	             ?deterministic=1 serves the schedule-independent variant
+//	/debug/vars  expvar (live snapshots for every Publish'd registry)
+//	/debug/pprof/{,cmdline,profile,symbol,trace}  net/http/pprof
+type Server struct {
+	// Registry backs /metrics. Nil serves an empty (but valid) exposition.
+	Registry *Registry
+	// Health reports process health for /healthz: ok and a human-readable
+	// detail line. Nil means unconditionally healthy.
+	Health func() (ok bool, detail string)
+	// Trace backs /trace. Nil (or an empty recorder) responds 404 until an
+	// analysis has been recorded.
+	Trace *TraceRecorder
+
+	mu   sync.Mutex
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Handler builds the ops mux. Safe to call multiple times; each call
+// returns a fresh mux over the same components.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `qwm ops server
+
+/metrics        Prometheus text exposition
+/healthz        health probe (503 when the last analysis degraded)
+/trace          Chrome trace-event JSON of the recorded analyses
+/debug/vars     expvar
+/debug/pprof/   pprof profiles
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var snap Snapshot
+	if s.Registry != nil {
+		snap = s.Registry.Snapshot()
+	}
+	_ = snap.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ok, detail := true, "ok"
+	if s.Health != nil {
+		ok, detail = s.Health()
+		if ok && detail == "" {
+			detail = "ok"
+		}
+	}
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: %s\n", detail)
+		return
+	}
+	fmt.Fprintf(w, "%s\n", detail)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.Trace == nil || s.Trace.Empty() {
+		http.Error(w, "no trace recorded", http.StatusNotFound)
+		return
+	}
+	t := s.Trace.Trace()
+	name := "sta-trace.json"
+	if v := r.URL.Query().Get("deterministic"); v == "1" || v == "true" {
+		t = t.Deterministic()
+		name = "sta-trace-deterministic.json"
+	}
+	b, err := t.JSON()
+	if err != nil {
+		http.Error(w, "trace serialization: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+name+`"`)
+	_, _ = w.Write(b)
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves the
+// ops mux on a background goroutine. It returns the bound address. Starting
+// an already-started server is an error; after Shutdown the server may be
+// started again.
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv != nil {
+		return "", fmt.Errorf("obs: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: server listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan struct{})
+	s.srv, s.ln, s.done = srv, ln, done
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // http.ErrServerClosed on Shutdown
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listener address of a started server ("" when stopped).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops a started server: the listener closes, in-flight
+// requests get until ctx's deadline to finish, and the serve goroutine is
+// joined before Shutdown returns — no goroutine outlives the call (the leak
+// test pins this). Shutting down a stopped server is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv, done := s.srv, s.done
+	s.srv, s.ln, s.done = nil, nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

@@ -1,0 +1,168 @@
+package qwm
+
+import "qwm/internal/wave"
+
+// CaptureSink is an EventSink that records the full region decomposition of
+// QWM evaluations — every committed region event plus, after the evaluation
+// finishes, the piecewise-quadratic waveforms themselves — into a bounded
+// ring buffer. It is the forensic counterpart of PrintfSink: instead of
+// rendering events as text it keeps them structured, so a failed or
+// suspicious evaluation can be dumped (waveforms, critical times, solver
+// stats, per-region event trail) as a self-contained bundle.
+//
+// Protocol: call Begin(label) before starting an evaluation with this sink
+// installed as Options.Events, run the evaluation, then call Commit(res)
+// (or Abort(err) on failure) to close the record. Events arriving with no
+// open record are counted in Orphaned and dropped rather than mis-attributed.
+//
+// CaptureSink is NOT safe for concurrent use; capture one evaluation at a
+// time (the forensic re-run path is single-threaded by construction). The
+// zero value is unusable — use NewCaptureSink.
+type CaptureSink struct {
+	limit    int
+	records  []*CaptureRecord
+	cur      *CaptureRecord
+	dropped  int
+	orphaned int
+}
+
+// CaptureRecord is one captured evaluation: its region event trail and the
+// waveform outcome. Waveform fields are deep copies, so the record stays
+// valid after the engine's buffers are reused or pooled.
+type CaptureRecord struct {
+	// Label identifies the evaluation (caller-chosen, e.g. "stage[3]/rise").
+	Label string
+	// Events is the committed-region trail, in commit order.
+	Events []Event
+	// Committed is true once Commit ran; false for Abort'ed or still-open
+	// records.
+	Committed bool
+	// Err holds the failure message when the evaluation was Abort'ed.
+	Err string
+
+	// Folded are the chain-node waveforms in folded coordinates (1..M).
+	Folded []*wave.PWQ
+	// Nodes are the same waveforms unfolded to physical voltages.
+	Nodes []*wave.PWQ
+	// CriticalTimes are the region boundaries in seconds.
+	CriticalTimes []float64
+	// Stats is the solver accounting for the evaluation.
+	Stats Stats
+	// TailTruncated mirrors Result.TailTruncated.
+	TailTruncated bool
+}
+
+// NewCaptureSink returns a sink retaining at most capacity records (oldest
+// evicted first). capacity <= 0 selects a default of 16.
+func NewCaptureSink(capacity int) *CaptureSink {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &CaptureSink{limit: capacity}
+}
+
+// Begin opens a new record. An unfinished previous record is closed as-is
+// (Committed false) rather than lost.
+func (c *CaptureSink) Begin(label string) {
+	c.finish()
+	c.cur = &CaptureRecord{Label: label}
+}
+
+// Region implements EventSink: it appends one committed-region event to the
+// open record. Events with no open record increment Orphaned and are dropped.
+func (c *CaptureSink) Region(ev Event) {
+	if c.cur == nil {
+		c.orphaned++
+		return
+	}
+	c.cur.Events = append(c.cur.Events, ev)
+}
+
+// Commit closes the open record with the evaluation's outcome, deep-copying
+// the waveforms so the record survives engine buffer reuse. A nil res closes
+// the record with events only. Commit without Begin is a no-op.
+func (c *CaptureSink) Commit(res *Result) {
+	if c.cur == nil {
+		return
+	}
+	if res != nil {
+		c.cur.Committed = true
+		c.cur.Folded = copyWaves(res.Folded)
+		c.cur.Nodes = copyWaves(res.Nodes)
+		c.cur.CriticalTimes = append([]float64(nil), res.CriticalTimes...)
+		c.cur.Stats = res.Stats
+		c.cur.TailTruncated = res.TailTruncated
+	}
+	c.finish()
+}
+
+// Abort closes the open record as failed, keeping the event trail gathered
+// so far. Abort without Begin is a no-op.
+func (c *CaptureSink) Abort(err error) {
+	if c.cur == nil {
+		return
+	}
+	if err != nil {
+		c.cur.Err = err.Error()
+	}
+	c.finish()
+}
+
+// finish moves the open record (if any) into the ring, evicting the oldest
+// record when the buffer is full.
+func (c *CaptureSink) finish() {
+	if c.cur == nil {
+		return
+	}
+	if len(c.records) >= c.limit {
+		n := copy(c.records, c.records[1:])
+		c.records = c.records[:n]
+		c.dropped++
+	}
+	c.records = append(c.records, c.cur)
+	c.cur = nil
+}
+
+// Records returns the closed records, oldest first. The slice is a copy;
+// the records it points to are owned by the sink but never mutated after
+// close.
+func (c *CaptureSink) Records() []*CaptureRecord {
+	out := make([]*CaptureRecord, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Last returns the most recently closed record, or nil.
+func (c *CaptureSink) Last() *CaptureRecord {
+	if len(c.records) == 0 {
+		return nil
+	}
+	return c.records[len(c.records)-1]
+}
+
+// Dropped reports how many closed records the ring evicted.
+func (c *CaptureSink) Dropped() int { return c.dropped }
+
+// Orphaned reports how many events arrived with no open record.
+func (c *CaptureSink) Orphaned() int { return c.orphaned }
+
+// Reset discards all state (records, open record, counters); the capacity
+// is kept.
+func (c *CaptureSink) Reset() {
+	c.records, c.cur, c.dropped, c.orphaned = nil, nil, 0, 0
+}
+
+func copyWaves(ws []*wave.PWQ) []*wave.PWQ {
+	if ws == nil {
+		return nil
+	}
+	out := make([]*wave.PWQ, len(ws))
+	for i, w := range ws {
+		if w == nil {
+			continue
+		}
+		cp := &wave.PWQ{Segs: append([]wave.QuadSeg(nil), w.Segs...)}
+		out[i] = cp
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package qwm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCaptureSinkRecordsEvaluation(t *testing.T) {
+	ch := fixedStack(t, 3, 1e-6, 5e-15, 0)
+	sink := NewCaptureSink(4)
+	sink.Begin("stack3")
+	res, err := Evaluate(ch, Options{Events: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Commit(res)
+
+	rec := sink.Last()
+	if rec == nil {
+		t.Fatal("no record after Commit")
+	}
+	if rec.Label != "stack3" || !rec.Committed || rec.Err != "" {
+		t.Fatalf("record header = %+v", rec)
+	}
+	if len(rec.Events) != res.Stats.Regions {
+		t.Fatalf("captured %d events, solver committed %d regions", len(rec.Events), res.Stats.Regions)
+	}
+	if rec.Stats != res.Stats {
+		t.Fatalf("stats %+v, want %+v", rec.Stats, res.Stats)
+	}
+	if len(rec.Folded) != len(res.Folded) || len(rec.Nodes) != len(res.Nodes) {
+		t.Fatalf("waveform counts folded %d/%d nodes %d/%d",
+			len(rec.Folded), len(res.Folded), len(rec.Nodes), len(res.Nodes))
+	}
+	// Deep copy: record waveforms must not alias the result's segments.
+	if len(rec.Folded) > 0 && len(rec.Folded[0].Segs) > 0 {
+		orig := rec.Folded[0].Segs[0]
+		res.Folded[0].Segs[0].V0 = orig.V0 + 1
+		if rec.Folded[0].Segs[0] != orig {
+			t.Fatal("captured waveform aliases the result's segment buffer")
+		}
+	}
+	// Event tail: last event must be the final level crossing or a tail
+	// truncation; taus non-decreasing.
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].Tau < rec.Events[i-1].Tau {
+			t.Fatalf("event taus decrease at %d: %v -> %v", i, rec.Events[i-1].Tau, rec.Events[i].Tau)
+		}
+	}
+	if sink.Orphaned() != 0 || sink.Dropped() != 0 {
+		t.Fatalf("orphaned=%d dropped=%d, want 0/0", sink.Orphaned(), sink.Dropped())
+	}
+}
+
+func TestCaptureSinkRingEviction(t *testing.T) {
+	sink := NewCaptureSink(2)
+	for i := 0; i < 5; i++ {
+		sink.Begin(fmt.Sprintf("eval%d", i))
+		sink.Region(Event{Region: 0, Kind: RegionCross, Tau: float64(i)})
+		sink.Commit(nil)
+	}
+	recs := sink.Records()
+	if len(recs) != 2 {
+		t.Fatalf("ring holds %d records, want 2", len(recs))
+	}
+	if recs[0].Label != "eval3" || recs[1].Label != "eval4" {
+		t.Fatalf("ring kept %q,%q, want eval3,eval4", recs[0].Label, recs[1].Label)
+	}
+	if sink.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", sink.Dropped())
+	}
+}
+
+func TestCaptureSinkAbortAndOrphans(t *testing.T) {
+	sink := NewCaptureSink(0) // default capacity
+	sink.Region(Event{Region: 0})
+	if sink.Orphaned() != 1 {
+		t.Fatalf("orphaned = %d, want 1", sink.Orphaned())
+	}
+	sink.Begin("failing")
+	sink.Region(Event{Region: 0, Kind: RegionTurnOn, Elem: 1, Tau: 1e-12})
+	sink.Abort(errors.New("diverged"))
+	rec := sink.Last()
+	if rec == nil || rec.Committed || rec.Err != "diverged" || len(rec.Events) != 1 {
+		t.Fatalf("abort record = %+v", rec)
+	}
+	// Begin with an unfinished record closes it rather than losing it.
+	sink.Begin("a")
+	sink.Begin("b")
+	sink.Commit(nil)
+	if got := len(sink.Records()); got != 3 {
+		t.Fatalf("records = %d, want 3 (abort + implicit close + commit)", got)
+	}
+	sink.Reset()
+	if len(sink.Records()) != 0 || sink.Orphaned() != 0 || sink.Dropped() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -40,6 +40,17 @@ const (
 	hAnalyzeSeconds = "sta/time/analyze_seconds"
 )
 
+// Exported metric-name aliases for ops consumers (the CLI's quantile
+// summary, dashboards scraping /metrics before name sanitization). The
+// unexported originals above stay the single source of truth.
+const (
+	MetricNRItersPerEval = hNRItersPerEval
+	MetricRegionsPerEval = hRegionsPerEval
+	MetricEvalSeconds    = hEvalSeconds
+	MetricLevelSeconds   = hLevelSeconds
+	MetricAnalyzeSeconds = hAnalyzeSeconds
+)
+
 // Histogram bucket bounds. The per-eval solver histograms use power-of-two
 // buckets (an eval is typically a handful of regions and tens of Newton
 // iterations); the timing histograms use decades from 1 µs to 1 s.
@@ -132,7 +143,7 @@ func (a *Analyzer) metricSet() *metricSet {
 	return a.ms
 }
 
-func (r *recorder) now() time.Time              { return time.Now() }
+func (r *recorder) now() time.Time                  { return time.Now() }
 func (r *recorder) since(t time.Time) time.Duration { return time.Since(t) }
 
 func (r *recorder) analyzeStart(info obs.AnalyzeStartInfo) {
@@ -157,8 +168,9 @@ func (r *recorder) levelDone(d time.Duration) {
 // true when THIS request performed the QWM evaluation (a cache miss);
 // single-flight guarantees each unique key is computed exactly once, so the
 // deterministic solver counters and histograms below are fed exactly once
-// per key regardless of worker count or scheduling.
-func (r *recorder) stageEval(it *workItem, computed bool, d time.Duration) {
+// per key regardless of worker count or scheduling. worker is the pool slot
+// that resolved the item — schedule-dependent, observer-only.
+func (r *recorder) stageEval(it *workItem, computed bool, d time.Duration, worker int) {
 	if computed {
 		r.misses.Add(1)
 	} else {
@@ -184,6 +196,10 @@ func (r *recorder) stageEval(it *workItem, computed bool, d time.Duration) {
 		if it.rail == circuit.SupplyNode {
 			dir = "rise"
 		}
+		tier := ""
+		if it.timing.ok {
+			tier = it.timing.tier.String()
+		}
 		r.o.StageEval(obs.StageEvalInfo{
 			Level:     it.level,
 			Item:      it.idx,
@@ -192,6 +208,8 @@ func (r *recorder) stageEval(it *workItem, computed bool, d time.Duration) {
 			CacheHit:  !computed,
 			Duration:  d,
 			QWM:       obs.QWMStats(it.timing.stats),
+			Tier:      tier,
+			Worker:    worker,
 			Err:       it.timing.errMsg,
 		})
 	}

@@ -149,10 +149,22 @@ func TestObserverEventOrdering(t *testing.T) {
 	if len(pe) != len(se) {
 		t.Fatalf("parallel run delivered %d StageEval events, serial %d", len(pe), len(se))
 	}
+	// The serial run must attribute every item to worker slot 0.
+	for i := range se {
+		if se[i].Worker != 0 {
+			t.Errorf("serial event %d ran on worker %d, want 0", i, se[i].Worker)
+		}
+		if se[i].CacheHit || se[i].Tier != "qwm" {
+			continue // clean decoder run: all misses at the QWM tier checked below
+		}
+	}
 	for i := range se {
 		a, b := se[i], pe[i]
-		// Duration is wall clock; everything else must match exactly.
+		// Duration is wall clock and Worker is the pool slot — both are
+		// schedule-dependent; everything else must match exactly (Tier
+		// included: the ladder rung is a property of the cached entry).
 		a.Duration, b.Duration = 0, 0
+		a.Worker, b.Worker = 0, 0
 		if a != b {
 			t.Errorf("event %d differs after sort:\n serial  %+v\n parallel %+v", i, a, b)
 		}

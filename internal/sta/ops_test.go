@@ -1,0 +1,221 @@
+package sta
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qwm/internal/faultinject"
+	"qwm/internal/obs"
+)
+
+// runTraced runs the decoder fixture on a fresh analyzer with a fresh trace
+// recorder and metrics registry attached, returning all three plus the
+// result.
+func runTraced(t *testing.T, workers int) (*Analyzer, *obs.TraceRecorder, *Result) {
+	t.Helper()
+	a := New(tech, lib)
+	a.Workers = workers
+	a.Metrics = obs.NewRegistry()
+	tr := obs.NewTraceRecorder()
+	req := decoderRequest(t)
+	req.Observer = tr
+	res, err := a.AnalyzeContext(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, tr, res
+}
+
+// TestTraceDecoderSmoke records a full decoder analysis and validates the
+// exported Chrome trace end to end: valid JSON in the object format, one
+// analyze span, one span per level, one eval span per work item, balanced
+// (non-negative, bounded) durations, and evals nested inside the analysis.
+func TestTraceDecoderSmoke(t *testing.T) {
+	_, tr, _ := runTraced(t, 4)
+	b, err := tr.Trace().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if parsed.Metadata["recorder"] == nil {
+		t.Error("trace metadata missing recorder")
+	}
+
+	var analyze, level, eval, meta int
+	var aStart, aEnd float64
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			continue
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("unbalanced X event %q (dur %v)", ev.Name, ev.Dur)
+			}
+		default:
+			t.Fatalf("unexpected phase %q on %q", ev.Ph, ev.Name)
+		}
+		switch {
+		case ev.Name == "analyze":
+			analyze++
+			aStart, aEnd = ev.TS, ev.TS+*ev.Dur
+		case ev.Cat == "sta":
+			level++
+		case ev.Cat == "eval":
+			eval++
+		}
+	}
+	// Decoder fixture: 19 stages / 38 items over 3 levels.
+	if analyze != 1 || level != 3 || eval != 38 {
+		t.Fatalf("span counts analyze=%d level=%d eval=%d, want 1/3/38", analyze, level, eval)
+	}
+	if meta < 3 {
+		t.Fatalf("metadata events = %d, want >= 3", meta)
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "eval" {
+			continue
+		}
+		if ev.TS < aStart-1e-6 || ev.TS+*ev.Dur > aEnd+1e-6 {
+			t.Errorf("eval %q [%g,%g] outside analyze [%g,%g]", ev.Name, ev.TS, ev.TS+*ev.Dur, aStart, aEnd)
+		}
+		if ev.Args["tier"] == nil {
+			t.Errorf("eval %q missing tier arg", ev.Name)
+		}
+		if c := ev.Args["cache"]; c != "hit" && c != "miss" {
+			t.Errorf("eval %q cache arg = %v", ev.Name, c)
+		}
+	}
+}
+
+// TestTraceDeterministicWorkersByteIdentical pins the acceptance criterion:
+// the deterministic trace of the same request is byte-identical at Workers 1
+// and Workers 8.
+func TestTraceDeterministicWorkersByteIdentical(t *testing.T) {
+	_, tr1, _ := runTraced(t, 1)
+	_, tr8, _ := runTraced(t, 8)
+	b1, err := tr1.Trace().Deterministic().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := tr8.Trace().Deterministic().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		d1, d8 := firstDiffLine(b1, b8)
+		t.Fatalf("deterministic traces differ between Workers 1 and 8:\nworkers=1: %s\nworkers=8: %s", d1, d8)
+	}
+	// Sanity: the wall-clock variants are allowed to differ, but both must
+	// stay valid JSON.
+	for _, tr := range []*obs.TraceRecorder{tr1, tr8} {
+		b, err := tr.Trace().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(b) {
+			t.Fatal("wall-clock trace is not valid JSON")
+		}
+	}
+}
+
+func firstDiffLine(a, b []byte) (string, string) {
+	la := strings.Split(string(a), "\n")
+	lb := strings.Split(string(b), "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return la[i], lb[i]
+		}
+	}
+	return "<prefix>", "<prefix>"
+}
+
+// TestOpsServerIntegration exercises the full ops surface over real HTTP
+// against a live analyzer: Prometheus metrics with engine counters, the
+// recorded trace, pprof, expvar-free health — and the healthz flip to 503
+// when the analysis degraded under injected faults.
+func TestOpsServerIntegration(t *testing.T) {
+	a, tr, res := runTraced(t, 2)
+
+	srv := &obs.Server{
+		Registry: a.Metrics,
+		Trace:    tr,
+		Health: func() (bool, string) {
+			if res.Diagnostics.Healthy() {
+				return true, "ok"
+			}
+			return false, res.Diagnostics.String()
+		},
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := fetch("/metrics"); code != 200 ||
+		!strings.Contains(body, "sta_analyzes 1") ||
+		!strings.Contains(body, `sta_nr_iters_per_eval_bucket{le="+Inf"}`) {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := fetch("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := fetch("/trace"); code != 200 || !strings.Contains(body, `"traceEvents"`) {
+		t.Fatalf("/trace: %d", code)
+	}
+	if code, _ := fetch("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+
+	// Degrade: kill every QWM Newton solve so the ladder escalates and the
+	// diagnostics report degradation; health must flip to 503 with detail.
+	inj := faultinject.New(3).Enable(faultinject.NRDivergence, 1)
+	fa := New(tech, lib)
+	freq := decoderRequest(t)
+	freq.Fault = inj
+	fres, err := fa.AnalyzeContext(context.Background(), freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Degraded == 0 || fres.Diagnostics.Healthy() {
+		t.Fatalf("fault injection did not degrade the run: %+v", fres.Diagnostics)
+	}
+	res = fres // the Health closure reads the updated result
+
+	code, body := fetch("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after degradation: %d %q, want 503", code, body)
+	}
+	if !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded healthz body lacks detail: %q", body)
+	}
+}

@@ -339,7 +339,7 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			a.evalItem(&items[i], rec, env)
+			a.evalItem(&items[i], rec, env, 0)
 		}
 		return nil
 	}
@@ -347,16 +347,16 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
-				a.evalItem(&items[i], rec, env)
+				a.evalItem(&items[i], rec, env, worker)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()
@@ -371,8 +371,9 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 // rec is the per-Analyze observation recorder; nil means no observer and no
 // metrics registry are attached, and the fast path then performs exactly
 // the work it did before observability existed (no clock reads, no event
-// structs).
-func (a *Analyzer) evalItem(it *workItem, rec *recorder, env *evalEnv) {
+// structs). worker is the pool slot running this item (0 on the serial
+// path), surfaced to observers for timeline rendering only.
+func (a *Analyzer) evalItem(it *workItem, rec *recorder, env *evalEnv, worker int) {
 	key := it.ev.contentKey + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
 	compute := func() dirTiming {
 		a.cache.evals.Add(1)
@@ -393,7 +394,7 @@ func (a *Analyzer) evalItem(it *workItem, rec *recorder, env *evalEnv) {
 	start := rec.now()
 	timing, computed := a.cache.getOrCompute(key, compute)
 	it.timing = timing
-	rec.stageEval(it, computed, rec.since(start))
+	rec.stageEval(it, computed, rec.since(start), worker)
 }
 
 // slewBucket quantizes a transition time to 5 ps so nearby values share a

@@ -70,9 +70,9 @@ func runSpiceRef(h *bench.Harness, w *stages.Workload) (*bench.EngineRun, error)
 		return nil, err
 	}
 	res, err := s.TransientAdaptive(spice.AdaptiveOptions{
-		TStop: w.TStop,
-		HMax:  20e-12,
-		IC:    w.IC,
+		TStop:       w.TStop,
+		HMax:        20e-12,
+		IC:          w.IC,
 		RecordNodes: []string{w.Output},
 	})
 	if err != nil {
