@@ -1,15 +1,16 @@
 # CI entry points for the qwm repository. `make ci` is the gate a change
 # must pass: vet, build, the targeted observability race suite, the full
 # test suite under the race detector, the trace-export and ops-server
-# lifecycle smokes, a smoke run of the STA-parallel, solver-kernel and
-# observed-analyze benchmarks, a small-budget differential-verification
-# sweep, and a small fault-injection (chaos) sweep over every fault class.
+# lifecycle smokes, a smoke run of the STA-parallel, solver-kernel,
+# observed-analyze and hot-path wide benchmarks (plus the dated JSON
+# snapshot), a small-budget differential-verification sweep, and a small
+# fault-injection (chaos) sweep over every fault class.
 
 GO ?= go
 
 .PHONY: ci vet build test race race-obs trace-smoke leak-check bench bench-full bench-json verify verify-full chaos chaos-full
 
-ci: vet build race-obs race trace-smoke leak-check bench verify chaos
+ci: vet build race-obs race trace-smoke leak-check bench bench-json verify chaos
 
 vet:
 	$(GO) vet ./...
@@ -46,23 +47,24 @@ leak-check:
 	$(GO) test -run 'TestServerStartShutdownNoLeak' -count=1 ./internal/obs/
 
 # One-iteration smoke of the perf-critical benchmarks: the parallel STA
-# engine at every worker width, the in-place linear-solver kernels, and the
-# observability-overhead comparison (bare vs observer vs metrics).
+# engine at every worker width, the in-place linear-solver kernels, the
+# observability-overhead comparison (bare vs observer vs metrics), and the
+# hot-path wide-netlist benchmark (reduction+memo off vs on).
 bench:
 	$(GO) test -run '^$$' -bench 'STAParallel|SolverKernels' -benchtime 1x -benchmem .
-	$(GO) test -run '^$$' -bench 'AnalyzeObserved|WarmCacheLookup' -benchtime 1x -benchmem ./internal/sta/
+	$(GO) test -run '^$$' -bench 'AnalyzeObserved|WarmCacheLookup|STAWide' -benchtime 1x -benchmem ./internal/sta/
 
 # Full benchmark sweep (regenerates every table/figure; slow).
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Machine-readable benchmark snapshot: run the engine-level benchmarks
-# (parallel STA, warm-cache lookup, observability overhead) and convert the
-# text stream into benchstat-compatible JSON at the repo root, stamped with
-# today's date.
+# (parallel STA, warm-cache lookup, observability overhead, and the
+# hot-path wide-netlist off/on comparison) and convert the text stream into
+# benchstat-compatible JSON at the repo root, stamped with today's date.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'STAParallel' -benchtime 1x -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved' -benchtime 1x -benchmem ./internal/sta/ ; } \
+	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved|STAWide' -benchtime 1x -benchmem ./internal/sta/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
 
 # Small-budget differential verification: 25 seeded stage netlists checked

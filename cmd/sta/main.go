@@ -7,6 +7,7 @@
 //	sta -deck chain.sp -inputs a0,b0 -outputs out
 //	sta -deck chain.sp -inputs 'a0,b0@150p' -outputs out   # b0 arrives late
 //	sta -deck decoder.sp -outputs y0,y1 -workers 8 -cache-stats
+//	sta -deck bus.sp -outputs y0,y1 -reduce 1 -memo -interp -cache-stats
 //
 // Stage evaluation is parallel: -workers sets the per-level worker-pool
 // size (0 = GOMAXPROCS, 1 = serial); results are identical for any value.
@@ -16,6 +17,16 @@
 // silently degraded directions are visible. -metrics-json dumps the metrics
 // registry — counters plus NR-iteration, region-count and latency
 // histograms — as JSON on stdout.
+//
+// Hot-path accelerators (both off by default; with both off the result is
+// bit-identical to earlier releases): -reduce TOL enables the RC-chain
+// model-order-reduction pre-pass, collapsing long series wire runs into
+// moment-matched stubs with at most TOL percent second-moment mismatch;
+// -memo enables equivalence-class stage memoization (structurally identical
+// stages share one evaluation per rail and 5 ps slew bucket), and -interp
+// additionally interpolates between bucket-boundary evaluations instead of
+// snapping to the bucket floor. -cache-stats then also reports how many RC
+// nodes the pre-pass removed and the class count/hit tallies.
 //
 // Evaluations that fail to converge (or exhaust -nr-budget / -wall-budget)
 // escalate a degradation ladder — QWM Newton, QWM bisection, adaptive
@@ -48,6 +59,7 @@ import (
 	"qwm/internal/mos"
 	"qwm/internal/netlist"
 	"qwm/internal/obs"
+	"qwm/internal/reduce"
 	"qwm/internal/sta"
 )
 
@@ -62,6 +74,9 @@ func main() {
 		metrics  = flag.Bool("metrics-json", false, "dump the metrics registry (counters + histograms) as JSON")
 		nrBudget = flag.Int("nr-budget", 0, "per-evaluation Newton-iteration budget (0 = unlimited); exhaustion degrades the tier, never fails the run")
 		wallB    = flag.Duration("wall-budget", 0, "per-evaluation wall-clock budget (0 = unlimited)")
+		redTol   = flag.Float64("reduce", 0, "enable the RC-chain reduction pre-pass with this moment-mismatch tolerance in percent (0 = off)")
+		memo     = flag.Bool("memo", false, "enable equivalence-class stage memoization (evaluation slew snapped to 5 ps buckets)")
+		interp   = flag.Bool("interp", false, "with -memo, interpolate between slew-bucket boundary evaluations instead of floor-snapping")
 		trace    = flag.String("trace", "", "write the analysis as Chrome trace-event JSON to this file")
 		traceDet = flag.Bool("trace-deterministic", false, "write the deterministic trace variant (synthetic clock, schedule-independent; byte-identical at any -workers)")
 		serve    = flag.String("serve", "", "after the analysis, serve the ops endpoints (/metrics /healthz /trace /debug/vars /debug/pprof/) on this address until SIGINT/SIGTERM")
@@ -72,7 +87,11 @@ func main() {
 		stats: *stats, metricsJSON: *metrics,
 		tracePath: *trace, traceDet: *traceDet, serveAddr: *serve,
 	}
-	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, budget, opts); err != nil {
+	if *interp && !*memo {
+		fmt.Fprintln(os.Stderr, "sta: -interp has no effect without -memo")
+	}
+	feat := hotPathFlags{reduceTol: *redTol, memo: *memo, interp: *interp}
+	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, budget, feat, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sta:", err)
 		os.Exit(1)
 	}
@@ -86,7 +105,13 @@ type opsOptions struct {
 	serveAddr          string
 }
 
-func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta.EvalBudget, ops opsOptions) error {
+// hotPathFlags bundles the accelerator knobs (-reduce/-memo/-interp).
+type hotPathFlags struct {
+	reduceTol    float64
+	memo, interp bool
+}
+
+func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta.EvalBudget, feat hotPathFlags, ops opsOptions) error {
 	in := os.Stdin
 	if deckPath != "" {
 		f, err := os.Open(deckPath)
@@ -125,6 +150,12 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 	tech := mos.CMOSP35()
 	a := sta.New(tech, devmodel.NewLibrary(tech))
 	a.Workers = workers
+	if feat.reduceTol > 0 {
+		a.Reduction = reduce.Config{Enabled: true, TolPct: feat.reduceTol}
+	}
+	if feat.memo {
+		a.Memo = sta.MemoConfig{Enabled: true, Interp: feat.interp}
+	}
 	if ops.metricsJSON || ops.stats || ops.serveAddr != "" {
 		a.Metrics = obs.NewRegistry()
 		if !a.Metrics.Publish("sta") {
@@ -156,6 +187,12 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 		cs := a.CacheStats()
 		fmt.Printf("delay cache: %d hits, %d misses, %d evaluations, %d entries\n",
 			cs.Hits, cs.Misses, cs.Evaluations, cs.Entries)
+		if feat.reduceTol > 0 {
+			fmt.Printf("reduction: %d RC nodes removed\n", res.ReducedNodes)
+		}
+		if feat.memo {
+			fmt.Printf("memoization: %d classes, %d class hits\n", res.ClassCount, res.ClassHits)
+		}
 		fmt.Printf("diagnostics: %s\n", res.Diagnostics)
 		printQuantiles(a.Metrics.Snapshot())
 	}

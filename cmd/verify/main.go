@@ -3,8 +3,10 @@
 // SPICE-class transient baseline (per-stage delay and slew), cached against
 // uncached full sta.Analyze runs, and serial against parallel runs —
 // including shared-identity/different-load sibling pairs shaped to trip
-// delay-cache aliasing bugs. The full per-case error distribution is
-// emitted as JSON.
+// delay-cache aliasing bugs, plus hot-path feature differentials on wide
+// netlists (RC-reduction and class-memoization off ⇒ bit-identical, on ⇒
+// bounded error, and the class-level load-aliasing trap). The full per-case
+// error distribution is emitted as JSON.
 //
 //	verify -seed 1 -n 200                 # acceptance sweep, JSON on stdout
 //	verify -seed 7 -n 50 -tol 5 -v       # tighter gate, per-case progress
@@ -131,9 +133,11 @@ func run(seed int64, n int, tol float64, workers int, outPath, dumpDir string, v
 	s := rep.Summary
 	fmt.Fprintf(os.Stderr,
 		"verify: %d stage cases (median accuracy %.2f%%, p95 err %.2f%%, %d over %.3g%% tol, %d engine errors); "+
-			"%d analyze cases (%d mismatches); %d sibling pairs (%d mismatches)\n",
+			"%d analyze cases (%d mismatches); %d sibling pairs (%d mismatches); "+
+			"%d hot-path cases (%d mismatches, max err %.2f%%)\n",
 		s.StageCases, s.MedianAccuracyPct, s.P95DelayErrPct, s.StageFailures, rep.TolPct, s.StageErrors,
-		s.AnalyzeCases, s.AnalyzeMismatches, s.SiblingPairs, s.SiblingMismatches)
+		s.AnalyzeCases, s.AnalyzeMismatches, s.SiblingPairs, s.SiblingMismatches,
+		s.HotPathCases, s.HotPathMismatches, s.MaxHotPathErrPct)
 	if !s.Pass {
 		return fmt.Errorf("verification gates failed")
 	}

@@ -29,6 +29,11 @@ type dirTiming struct {
 	// produced this entry — summed across every ladder tier attempted;
 	// cache hits surface the original evaluation's numbers to observers.
 	stats qwm.Stats
+	// reduced counts the circuit nodes the model-order-reduction pre-pass
+	// removed before the evaluation that produced this entry (0 when the
+	// pre-pass is disabled or nothing was eligible). Like stats, cached
+	// hits surface the original evaluation's number.
+	reduced int
 }
 
 // cacheShards is the number of independently locked shards in the delay
@@ -75,45 +80,46 @@ func newDelayCache() *delayCache {
 
 // fnv1a is the 32-bit FNV-1a hash, inlined to avoid the hash/fnv interface
 // allocations on the hot path.
-func fnv1a(s string) uint32 {
+func fnv1a(key []byte) uint32 {
 	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
 		h *= 16777619
 	}
 	return h
 }
 
-// getOrCompute returns the timing for key, invoking compute at most once per
-// key across all goroutines, plus whether THIS caller performed the compute
-// (a miss; waiting on another goroutine's in-flight compute counts as a
-// hit). The single-flight entry is installed and completed within one
-// caller's stack frame with no early exits, so a cancelled analysis can
-// never strand an entry with an open ready channel: in-flight computes
-// always run to completion and close ready (see TestCancelledContextLeavesCacheUsable).
-func (c *delayCache) getOrCompute(key string, compute func() dirTiming) (dirTiming, bool) {
+// acquire is the single-flight entry point: it returns the entry for key and
+// whether THIS caller is the leader. A non-leader must wait on e.ready before
+// reading e.val (an in-flight compute counts as a hit). The leader MUST set
+// e.val and close(e.ready) with no early exits in between, so a cancelled
+// analysis can never strand an entry with an open ready channel: in-flight
+// computes always run to completion and close ready (see
+// TestCancelledContextLeavesCacheUsable).
+//
+// The key is accepted as bytes so warm lookups — the sh.m[string(key)] idiom
+// compiles to an allocation-free probe — build keys in reused buffers; only
+// the installing leader materializes the string.
+func (c *delayCache) acquire(key []byte) (*cacheEntry, bool) {
 	sh := &c.shards[fnv1a(key)%cacheShards]
 
 	sh.mu.RLock()
-	e := sh.m[key]
+	e := sh.m[string(key)]
 	sh.mu.RUnlock()
 
 	if e == nil {
 		sh.mu.Lock()
-		if e = sh.m[key]; e == nil {
+		if e = sh.m[string(key)]; e == nil {
 			e = &cacheEntry{ready: make(chan struct{})}
-			sh.m[key] = e
+			sh.m[string(key)] = e
 			sh.mu.Unlock()
 			c.misses.Add(1)
-			e.val = compute()
-			close(e.ready)
-			return e.val, true
+			return e, true
 		}
 		sh.mu.Unlock()
 	}
 	c.hits.Add(1)
-	<-e.ready
-	return e.val, false
+	return e, false
 }
 
 // CacheStats is a snapshot of the delay cache's counters.

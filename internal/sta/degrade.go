@@ -2,12 +2,14 @@ package sta
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"qwm/internal/circuit"
 	"qwm/internal/faultinject"
 	"qwm/internal/qwm"
+	"qwm/internal/reduce"
 	"qwm/internal/spice"
 	"qwm/internal/stages"
 	"qwm/internal/switchlevel"
@@ -128,6 +130,18 @@ func (a *Analyzer) evalLadder(env *evalEnv, st *circuit.Stage, out, rail string,
 	}
 
 	var t dirTiming
+	// Model-order-reduction pre-pass: collapse long series RC runs (and,
+	// when opted in, off-path leaf subtrees) before ANY tier sees the path,
+	// so QWM, the spice rebuild and the RC bound all work on the same
+	// reduced network. Downstream of the cache key on purpose — the key
+	// carries Reduction.Signature(), so reduced entries can never alias
+	// unreduced ones, and the rewrite itself is a pure function of
+	// (stage, path, loads, config).
+	if a.Reduction.Enabled {
+		rp, rl, rst := reduce.Path(st, path, loads, a.Reduction)
+		path, loads = rp, rl
+		t.reduced = rst.NodesRemoved
+	}
 	var errs strings.Builder
 	for tier := TierQWM; tier < NumTiers; tier++ {
 		r, err := a.runTier(env, tier, st, out, rail, path, loads, inSlew, faultKey, &t)
@@ -296,9 +310,17 @@ func (a *Analyzer) evalSpicePath(st *circuit.Stage, path *circuit.Path, out, rai
 		}
 		ic[pe.Upper] = icLevel
 	}
+	// Deterministic load-cap order: map iteration order leaks into node
+	// registration (and therefore matrix elimination) order, which made the
+	// spice tier's float results run-order dependent.
+	loadNodes := make([]string, 0, len(loads))
+	for node := range loads {
+		loadNodes = append(loadNodes, node)
+	}
+	sort.Strings(loadNodes)
 	ci := 0
-	for node, c := range loads {
-		if c > 0 {
+	for _, node := range loadNodes {
+		if c := loads[node]; c > 0 {
 			n.AddCapacitor(fmt.Sprintf("cl%d", ci), node, circuit.GroundNode, c)
 			ci++
 		}

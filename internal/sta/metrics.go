@@ -29,6 +29,9 @@ const (
 	mCapResolves    = "sta/qwm_cap_resolves"
 	mDegraded       = "sta/degraded"
 	mPanics         = "sta/panics_recovered"
+	mReduceNodes    = "sta/reduce/nodes_removed"
+	mClassHits      = "sta/class_hits"
+	mClasses        = "sta/classes"
 	// mTierPrefix + Tier.String() counts computed directions per ladder
 	// tier (e.g. "sta/tier_evals/qwm", "sta/tier_evals/rc-bound").
 	mTierPrefix = "sta/tier_evals/"
@@ -71,6 +74,8 @@ type metricSet struct {
 	denseFallbacks           *obs.Counter
 	capResolves              *obs.Counter
 	degraded, panicsRec      *obs.Counter
+	reduceNodes              *obs.Counter
+	classHits, classes       *obs.Counter
 	tierEvals                [NumTiers]*obs.Counter
 	nrIterHist, regionHist   *obs.Histogram
 	evalSeconds              *obs.Histogram
@@ -94,6 +99,9 @@ func newMetricSet(r *obs.Registry) *metricSet {
 		capResolves:    r.Counter(mCapResolves),
 		degraded:       r.Counter(mDegraded),
 		panicsRec:      r.Counter(mPanics),
+		reduceNodes:    r.Counter(mReduceNodes),
+		classHits:      r.Counter(mClassHits),
+		classes:        r.Counter(mClasses),
 		nrIterHist:     r.Histogram(hNRItersPerEval, nrIterBounds),
 		regionHist:     r.Histogram(hRegionsPerEval, regionBounds),
 		evalSeconds:    r.Histogram(hEvalSeconds, secondsBounds),
@@ -185,6 +193,7 @@ func (r *recorder) stageEval(it *workItem, computed bool, d time.Duration, worke
 			r.ms.capResolves.Add(int64(st.CapResolves))
 			r.ms.nrIterHist.Observe(float64(st.NRIters))
 			r.ms.regionHist.Observe(float64(st.Regions))
+			r.ms.reduceNodes.Add(int64(it.timing.reduced))
 			r.ms.evalSeconds.Observe(d.Seconds())
 			if it.timing.ok {
 				r.ms.tierEvals[it.timing.tier].Inc()
@@ -231,6 +240,8 @@ func (r *recorder) analyzeEnd(res *Result, err error) {
 			r.ms.slewFbs.Add(int64(res.SlewFallbacks))
 			r.ms.degraded.Add(int64(res.Degraded))
 			r.ms.panicsRec.Add(int64(res.PanicsRecovered))
+			r.ms.classHits.Add(int64(res.ClassHits))
+			r.ms.classes.Add(int64(res.ClassCount))
 		}
 		r.ms.analyzeSec.Observe(time.Since(r.start).Seconds())
 	}

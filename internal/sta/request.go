@@ -86,14 +86,20 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 		return nil, fmt.Errorf("sta: no logic stages found")
 	}
 
+	// Per-request arena: every map, slab and key buffer below comes from the
+	// pooled scratch, so a warm Analyze allocates almost nothing. Nothing
+	// reachable from the returned Result aliases it (see arena.go).
+	s := a.getScratch()
+	defer a.putScratch(s)
+
 	// Net → producing stage, then Kahn levelization over gate connectivity.
-	producer := map[string]*circuit.Stage{}
+	producer := s.producer
 	for _, st := range stages {
 		for _, o := range st.Outputs {
 			producer[o] = st
 		}
 	}
-	levels, err := levelize(stages, producer)
+	levels, err := s.levelize(stages, producer)
 	if err != nil {
 		// A combinational loop is an input defect, not an engine failure:
 		// classify it with the rest of the pre-flight taxonomy.
@@ -102,7 +108,8 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 
 	// Fanout-load index: one pass over the netlist instead of a rescan of
 	// every transistor and capacitor per stage output.
-	loads := buildLoadIndex(req.Netlist, a.Tech)
+	loads := &s.ix
+	loads.build(req.Netlist, a.Tech)
 
 	workers := a.Workers
 	if workers <= 0 {
@@ -134,13 +141,16 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 
 	res = &Result{Arrivals: map[string]Arrival{}}
 	missStart := a.cache.misses.Load()
-	pred := map[string]string{} // net -> worst predecessor net
+	// Key-derivation context: the reduction signature suffixes every content
+	// key (reduced and unreduced evaluations must never alias), and Memo
+	// mode tracks the distinct structural classes seen this Analyze (the
+	// scratch's classSeen set). Both live in the sequential gather phase, so
+	// the tallies are schedule-independent.
+	redSig := a.Reduction.Signature()
 	for net, ar := range req.Primary {
 		res.Arrivals[circuit.CanonName(net)] = ar
 	}
 
-	var items []workItem
-	var ins []stageInputs
 	for li, level := range levels {
 		// Cancellation checkpoint between levels: completed levels keep
 		// their cache entries, the rest of the schedule is abandoned.
@@ -148,32 +158,60 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 			return nil, cerr
 		}
 
+		// Size this level's slabs up front: appends below can then never
+		// reallocate, so the &evs[i] pointers handed to work items stay
+		// stable while the level is filled.
+		nOut := 0
+		for _, st := range level {
+			nOut += len(st.Outputs)
+		}
+		evs := s.evs
+		if cap(evs) < nOut {
+			evs = make([]outEval, nOut)
+		} else {
+			evs = evs[:nOut]
+		}
+		items := s.items
+		if cap(items) < 2*nOut {
+			items = make([]workItem, 2*nOut)
+		} else {
+			items = items[:2*nOut]
+		}
+		s.evs, s.items = evs, items
+		ins := s.ins[:0]
+		// Load maps are per level: an output's map is dead once its level's
+		// apply phase completes, so each level reuses the pool from the top.
+		s.resetLoadMaps()
+
 		// Gather phase (sequential): the worst input arrivals per stage
 		// depend only on completed earlier levels. The per-output evaluation
 		// context (stage-content key + load digest + load map) is built here,
 		// once per (stage, output), so the parallel lookup path below does no
 		// key formatting at all.
-		ins = ins[:0]
-		items = items[:0]
+		vi := 0
 		for _, st := range level {
 			si := gatherInputs(st, res.Arrivals)
 			ins = append(ins, si)
 			for _, out := range st.Outputs {
-				ol := loads.stageLoads(st, out)
-				ev := &outEval{
-					contentKey: stageKey(st, out) + "|" + loadDigest(ol),
-					loads:      ol,
-				}
+				ol := loads.stageLoadsInto(s.loadMap(), st, out)
+				kb := s.appendStageKey(s.keyBuf[:0], st, out)
+				kb = append(kb, '|')
+				kb = s.appendLoadDigest(kb, ol)
+				kb = append(kb, redSig...)
+				s.keyBuf = kb
+				ev := &evs[vi]
+				vi++
+				*ev = outEval{contentKey: a.keys.intern(kb), loads: ol}
+				a.resolveBases(s, ev, st, out, redSig, res)
 				// An input that rises makes the pull-down conduct (output
 				// falls), and vice versa; each direction sees the slew of
 				// the edge that triggers it.
-				n := len(items)
-				items = append(items,
-					workItem{st: st, out: out, ev: ev, rail: circuit.GroundNode, inSlew: si.riseSlew, level: li, idx: n},
-					workItem{st: st, out: out, ev: ev, rail: circuit.SupplyNode, inSlew: si.fallSlew, level: li, idx: n + 1},
-				)
+				n := 2 * (vi - 1)
+				resetItem(&items[n], st, out, ev, circuit.GroundNode, si.riseSlew, li, n)
+				resetItem(&items[n+1], st, out, ev, circuit.SupplyNode, si.fallSlew, li, n+1)
 			}
 		}
+		s.ins = ins
 
 		var levelStart time.Time
 		if rec != nil {
@@ -212,12 +250,12 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 				if fall.ok {
 					ar.Fall = si.latestRise + fall.delay
 					ar.FallSlew = fall.slew
-					pred[out+"~fall"] = si.riseFrom
+					s.predFall[out] = si.riseFrom
 				}
 				if rise.ok {
 					ar.Rise = si.latestFall + rise.delay
 					ar.RiseSlew = rise.slew
-					pred[out+"~rise"] = si.fallFrom
+					s.predRise[out] = si.fallFrom
 				}
 				res.Arrivals[out] = ar
 			}
@@ -246,7 +284,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	net, dir := worstNet, worstDir
 	for net != "" {
 		res.CriticalPath = append(res.CriticalPath, net)
-		p := pred[net+"~"+dir]
+		p := s.predFall[net]
+		if dir != "fall" {
+			p = s.predRise[net]
+		}
 		if dir == "fall" {
 			dir = "rise"
 		} else {

@@ -38,6 +38,7 @@ import (
 	"qwm/internal/mos"
 	"qwm/internal/obs"
 	"qwm/internal/qwm"
+	"qwm/internal/reduce"
 	"qwm/internal/wave"
 )
 
@@ -63,6 +64,21 @@ type Analyzer struct {
 	// level. 0 means runtime.GOMAXPROCS(0); 1 forces the serial in-line
 	// path (no goroutines). Results are identical for every setting.
 	Workers int
+	// Reduction configures the RC-chain model-order reduction pre-pass
+	// (internal/reduce): long series wire runs on each evaluated path are
+	// collapsed into moment-matched equivalents before the solver runs.
+	// The zero value disables it and evaluation is bit-for-bit identical to
+	// an Analyzer without the field. Its signature is folded into every
+	// cache key, so Analyzers at different settings never share entries —
+	// but mutating it between Analyzes on ONE Analyzer is supported only
+	// because of that same signature; the cache keeps both configurations'
+	// entries alive.
+	Reduction reduce.Config
+	// Memo configures equivalence-class stage memoization: structurally
+	// identical stages (node names canonicalized away) share delay-cache
+	// entries, evaluated once per (class, direction, slew bucket). The zero
+	// value disables it, preserving raw per-name keys bit for bit.
+	Memo MemoConfig
 	// Metrics, when set, receives per-Analyze aggregates: cache hit/miss
 	// counters, eval/level/analyze latency histograms (names under
 	// "sta/time/"), and the deterministic NR-iteration and region-count
@@ -72,6 +88,14 @@ type Analyzer struct {
 
 	cacheOnce sync.Once
 	cache     *delayCache
+
+	// fp memoizes raw-key → canonical-class-key resolutions (Memo mode).
+	fp fpTable
+	// keys interns cache-key strings so warm Analyzes build keys in reused
+	// byte buffers and materialize no strings (see arena.go).
+	keys internTable
+	// scratch pools the per-Analyze arena (see arena.go).
+	scratch sync.Pool
 
 	// msOnce/ms memoize the registry's instrument handles so the evaluation
 	// hot path never performs a name lookup.
@@ -135,6 +159,19 @@ type Diagnostics struct {
 	// PanicsRecovered counts evaluation panics converted to tier
 	// escalations by the worker-side recover isolation.
 	PanicsRecovered int
+	// ReducedNodes sums, over every direction timing consulted by this
+	// Analyze, the circuit nodes removed by the model-order-reduction
+	// pre-pass (cached entries report the reduction of the evaluation that
+	// produced them, like TierCounts). 0 whenever reduction is disabled.
+	ReducedNodes int
+	// ClassCount is the number of distinct structural equivalence classes
+	// the memoized key resolution saw this Analyze; ClassHits counts the
+	// stage directions that joined an already-seen class (evaluations
+	// avoided relative to raw keying). Both are 0 when Memo is disabled,
+	// and both are schedule-independent: they are tallied in the
+	// sequential gather phase.
+	ClassCount int
+	ClassHits  int
 }
 
 // Healthy reports a clean analysis: no failed directions, no slew
@@ -227,10 +264,20 @@ type Result struct {
 // to a cheap string concatenation — previously every lookup (hit or miss)
 // re-sorted and re-formatted the stage's edges.
 type outEval struct {
-	// contentKey is stageKey(st, out) + "|" + loadDigest(loads): everything
-	// that determines the stage's timing except direction and input slew.
+	// contentKey is stageKey(st, out) + "|" + loadDigest(loads) + the
+	// reduction signature: everything that determines the stage's timing
+	// except direction and input slew.
 	contentKey string
 	loads      map[string]float64
+	// baseFall/baseRise are the per-direction key prefixes the lookup path
+	// appends the slew-bucket suffix to: the raw contentKey+"|"+rail form,
+	// or — when Memo resolved a structural class for the direction — the
+	// canonical "C|…" class base shared by every member stage.
+	baseFall, baseRise string
+	// memoFall/memoRise mark canonical bases; their evaluations snap (or
+	// interpolate) the input slew to bucket boundaries so the shared entry
+	// is a pure function of the class key.
+	memoFall, memoRise bool
 }
 
 // workItem is one independent evaluation: a stage output switching toward
@@ -248,6 +295,17 @@ type workItem struct {
 	level  int
 	idx    int
 	timing dirTiming
+	// keyBuf is the item's reusable cache-key assembly buffer (worker-local
+	// by construction: exactly one worker resolves each item).
+	keyBuf []byte
+}
+
+// resetItem refills a pooled workItem slot in place, preserving only its
+// key buffer's capacity.
+func resetItem(w *workItem, st *circuit.Stage, out string, ev *outEval, rail string, inSlew float64, level, idx int) {
+	w.st, w.out, w.ev, w.rail = st, out, ev, rail
+	w.inSlew, w.level, w.idx = inSlew, level, idx
+	w.timing = dirTiming{}
 }
 
 // stageInputs is the gathered worst-case input picture for one stage at its
@@ -292,6 +350,7 @@ func (r *Result) recordEvalIssues(out string, fall, rise dirTiming) {
 		if d.t.slewFellBack {
 			r.SlewFallbacks++
 		}
+		r.ReducedNodes += d.t.reduced
 		if d.t.ok {
 			r.TierCounts[d.t.tier]++
 			if d.t.tier > TierQWM {
@@ -363,10 +422,11 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 }
 
 // evalItem resolves one work item through the delay cache, computing the
-// direction timing on a miss. The cache key is the memoized stage-content +
-// load-digest key plus the direction (rail) and input-slew bucket; omitting
-// the load digest was the aliasing bug that let structurally identical
-// stages with different fanout share one entry.
+// direction timing on a miss. The cache key is the memoized per-direction
+// base (raw stage-content + load-digest + rail, or the canonical class base
+// in Memo mode) plus the input-slew bucket; omitting the load digest was the
+// aliasing bug that let structurally identical stages with different fanout
+// share one entry.
 //
 // rec is the per-Analyze observation recorder; nil means no observer and no
 // metrics registry are attached, and the fast path then performs exactly
@@ -374,27 +434,106 @@ func (a *Analyzer) runItems(ctx context.Context, items []workItem, workers int, 
 // structs). worker is the pool slot running this item (0 on the serial
 // path), surfaced to observers for timeline rendering only.
 func (a *Analyzer) evalItem(it *workItem, rec *recorder, env *evalEnv, worker int) {
-	key := it.ev.contentKey + "|" + it.rail + "|" + strconv.Itoa(slewBucket(it.inSlew))
-	compute := func() dirTiming {
-		a.cache.evals.Add(1)
-		// Fault site: a brief sleep inside the single-flight compute,
-		// simulating shard contention or a slow leader; results must be
-		// bit-for-bit unaffected (latency-only fault).
-		env.fault.Stall(faultinject.CacheStall, key)
-		// Resolve through the degradation ladder. A direction with no
-		// conducting path to this rail stays failed (the apply phase errors
-		// only if both directions are missing); numerical failures escalate
-		// tier by tier and come back degraded-but-complete.
-		return a.evalLadder(env, it.st, it.out, it.rail, it.ev.loads, it.inSlew, key)
-	}
 	if rec == nil {
-		it.timing, _ = a.cache.getOrCompute(key, compute)
+		it.timing, _ = a.resolveTiming(it, env)
 		return
 	}
 	start := rec.now()
-	timing, computed := a.cache.getOrCompute(key, compute)
+	timing, computed := a.resolveTiming(it, env)
 	it.timing = timing
 	rec.stageEval(it, computed, rec.since(start), worker)
+}
+
+// slewPitch is the cache's input-slew quantization (see slewBucket).
+const slewPitch = 5e-12
+
+// resolveTiming performs the cache lookup(s) for one item. Raw-keyed items
+// evaluate at the exact gathered slew, as always. Class-keyed (Memo) items
+// snap the evaluation slew to the bucket floor — making the shared entry a
+// pure function of the key, so WHICH class member computes it is
+// irrelevant — or, in Interp mode, evaluate both bounding bucket boundaries
+// and linearly interpolate delay and slew at the exact input slew.
+// Keys are assembled into the item's reusable buffer — the warm (all-hits)
+// path materializes no strings at all; a miss pays one string conversion
+// when the cache installs the entry.
+func (a *Analyzer) resolveTiming(it *workItem, env *evalEnv) (dirTiming, bool) {
+	base, memo := it.ev.baseFall, it.ev.memoFall
+	if it.rail == circuit.SupplyNode {
+		base, memo = it.ev.baseRise, it.ev.memoRise
+	}
+	bucket := slewBucket(it.inSlew)
+	if !memo {
+		return a.lookupOrEval(it.appendKey(base, "|", bucket), it, env, it.inSlew)
+	}
+	floor := float64(bucket) * slewPitch
+	if !a.Memo.Interp {
+		return a.lookupOrEval(it.appendKey(base, "|b", bucket), it, env, floor)
+	}
+	t0, c0 := a.lookupOrEval(it.appendKey(base, "|e", bucket), it, env, floor)
+	frac := (it.inSlew - floor) / slewPitch
+	if frac <= 0 || !t0.ok {
+		return t0, c0
+	}
+	ceil := float64(bucket+1) * slewPitch
+	t1, c1 := a.lookupOrEval(it.appendKey(base, "|e", bucket+1), it, env, ceil)
+	if !t1.ok {
+		// The upper boundary failed (budget chaos, pathological geometry):
+		// fall back to the floor evaluation rather than half an interpolant.
+		return t0, c0 || c1
+	}
+	return lerpTiming(t0, t1, frac), c0 || c1
+}
+
+// appendKey assembles base + sep + bucket into the item's key buffer.
+func (it *workItem) appendKey(base, sep string, bucket int) []byte {
+	kb := append(it.keyBuf[:0], base...)
+	kb = append(kb, sep...)
+	kb = strconv.AppendInt(kb, int64(bucket), 10)
+	it.keyBuf = kb
+	return kb
+}
+
+// lookupOrEval resolves one cache key, computing the direction timing through
+// the degradation ladder when this caller wins the single-flight race. The
+// second return is true when THIS caller performed the compute (a miss).
+func (a *Analyzer) lookupOrEval(key []byte, it *workItem, env *evalEnv, inSlew float64) (dirTiming, bool) {
+	e, leader := a.cache.acquire(key)
+	if !leader {
+		<-e.ready
+		return e.val, false
+	}
+	ks := string(key)
+	a.cache.evals.Add(1)
+	// Fault site: a brief sleep inside the single-flight compute, simulating
+	// shard contention or a slow leader; results must be bit-for-bit
+	// unaffected (latency-only fault).
+	env.fault.Stall(faultinject.CacheStall, ks)
+	// Resolve through the degradation ladder. A direction with no conducting
+	// path to this rail stays failed (the apply phase errors only if both
+	// directions are missing); numerical failures escalate tier by tier and
+	// come back degraded-but-complete.
+	e.val = a.evalLadder(env, it.st, it.out, it.rail, it.ev.loads, inSlew, ks)
+	close(e.ready)
+	return e.val, true
+}
+
+// lerpTiming linearly interpolates two bucket-boundary timings at frac ∈
+// (0, 1), folding both evaluations' degradation accounting together so a
+// consulted interpolant is never healthier-looking than its inputs.
+func lerpTiming(t0, t1 dirTiming, frac float64) dirTiming {
+	out := t0
+	out.delay = (1-frac)*t0.delay + frac*t1.delay
+	out.slew = (1-frac)*t0.slew + frac*t1.slew
+	out.slewFellBack = t0.slewFellBack || t1.slewFellBack
+	if t1.tier > out.tier {
+		out.tier = t1.tier
+	}
+	if t1.reduced > out.reduced {
+		out.reduced = t1.reduced
+	}
+	out.panics = t0.panics + t1.panics
+	addStats(&out.stats, t1.stats)
+	return out
 }
 
 // slewBucket quantizes a transition time to 5 ps so nearby values share a
@@ -490,6 +629,13 @@ func buildLoadIndex(n *circuit.Netlist, tech *mos.Tech) *loadIndex {
 		gateCap: make(map[string]float64, len(n.Transistors)),
 		nodeCap: make(map[string]float64, len(n.Capacitors)),
 	}
+	ix.build(n, tech)
+	return ix
+}
+
+// build (re)fills the index from one pass over the netlist. The maps must be
+// empty on entry; pooled indexes are cleared by putScratch.
+func (ix *loadIndex) build(n *circuit.Netlist, tech *mos.Tech) {
 	for _, t := range n.Transistors {
 		p := &tech.N
 		if t.Kind == circuit.KindPMOS {
@@ -505,26 +651,30 @@ func buildLoadIndex(n *circuit.Netlist, tech *mos.Tech) *loadIndex {
 			ix.nodeCap[c.B] += c.C
 		}
 	}
-	return ix
 }
 
-// stageLoads assembles the per-node load map for one stage output from the
-// index: the output carries its fanout gate caps plus explicit caps, and
-// internal path nodes carry their explicit caps.
-func (ix *loadIndex) stageLoads(st *circuit.Stage, out string) map[string]float64 {
-	loads := map[string]float64{}
+// stageLoadsInto assembles the per-node load map for one stage output from
+// the index into m (cleared first): the output carries its fanout gate caps
+// plus explicit caps, and internal path nodes carry their explicit caps.
+func (ix *loadIndex) stageLoadsInto(m map[string]float64, st *circuit.Stage, out string) map[string]float64 {
+	clear(m)
 	if c := ix.gateCap[out] + ix.nodeCap[out]; c != 0 {
-		loads[out] = c
+		m[out] = c
 	}
 	for _, nd := range st.Nodes {
 		if nd == out {
 			continue
 		}
 		if c := ix.nodeCap[nd]; c != 0 {
-			loads[nd] += c
+			m[nd] += c
 		}
 	}
-	return loads
+	return m
+}
+
+// stageLoads is stageLoadsInto with a fresh map (tests and one-off callers).
+func (ix *loadIndex) stageLoads(st *circuit.Stage, out string) map[string]float64 {
+	return ix.stageLoadsInto(map[string]float64{}, st, out)
 }
 
 // loadDigest canonically encodes a stage output's load map — the third
@@ -535,99 +685,20 @@ func (ix *loadIndex) stageLoads(st *circuit.Stage, out string) map[string]float6
 // digests and therefore distinct cache entries; omitting this from the key
 // made the second stage silently inherit the first's delay.
 func loadDigest(loads map[string]float64) string {
-	if len(loads) == 0 {
-		return ""
-	}
-	nodes := make([]string, 0, len(loads))
-	for n := range loads {
-		nodes = append(nodes, n)
-	}
-	sort.Strings(nodes)
-	var b strings.Builder
-	for _, n := range nodes {
-		b.WriteString(n)
-		b.WriteByte(':')
-		b.WriteString(strconv.FormatFloat(loads[n], 'e', 6, 64))
-		b.WriteByte(',')
-	}
-	return b.String()
+	var s analyzeScratch
+	return string(s.appendLoadDigest(nil, loads))
 }
 
 // stageKey identifies a stage's timing-relevant content: its devices,
-// geometry and connectivity, plus the observed output.
+// geometry and connectivity, plus the observed output. The hot path uses
+// appendStageKey directly; this wrapper exists for tests and cold callers.
 func stageKey(st *circuit.Stage, out string) string {
-	key := out + "|"
-	edges := make([]string, 0, len(st.Edges))
-	for _, e := range st.Edges {
-		edges = append(edges, fmt.Sprintf("%v:%s>%s@%s:%g:%g:%g", e.Kind, e.Src, e.Snk, e.Gate, e.W, e.L, e.R))
-	}
-	sort.Strings(edges)
-	for _, e := range edges {
-		key += e + ";"
-	}
-	return key
+	var s analyzeScratch
+	return string(s.appendStageKey(nil, st, out))
 }
 
-// levelize groups stages into dependency levels with Kahn's algorithm:
-// level 0 holds stages with no in-stage producers, level k+1 holds stages
-// whose producers all sit in levels ≤ k. Stages within a level keep their
-// ExtractStages order, so the schedule — and therefore the sequential apply
-// order — is deterministic. A cycle in the stage graph is a combinational
-// loop and is rejected.
-func levelize(stages []*circuit.Stage, producer map[string]*circuit.Stage) ([][]*circuit.Stage, error) {
-	idx := make(map[*circuit.Stage]int, len(stages))
-	for i, st := range stages {
-		idx[st] = i
-	}
-	consumers := make([][]int, len(stages))
-	indeg := make([]int, len(stages))
-	for i, st := range stages {
-		seen := map[int]bool{}
-		for _, in := range st.Inputs {
-			p, ok := producer[in]
-			if !ok || p == st {
-				continue
-			}
-			j := idx[p]
-			if seen[j] {
-				continue
-			}
-			seen[j] = true
-			consumers[j] = append(consumers[j], i)
-			indeg[i]++
-		}
-	}
-	var cur []int
-	for i := range stages {
-		if indeg[i] == 0 {
-			cur = append(cur, i)
-		}
-	}
-	var levels [][]*circuit.Stage
-	processed := 0
-	for len(cur) > 0 {
-		// Deterministic in-level order: ascending original index.
-		sort.Ints(cur)
-		level := make([]*circuit.Stage, len(cur))
-		var next []int
-		for k, i := range cur {
-			level[k] = stages[i]
-			processed++
-			for _, c := range consumers[i] {
-				if indeg[c]--; indeg[c] == 0 {
-					next = append(next, c)
-				}
-			}
-		}
-		levels = append(levels, level)
-		cur = next
-	}
-	if processed != len(stages) {
-		for i := range stages {
-			if indeg[i] > 0 {
-				return nil, fmt.Errorf("sta: combinational loop through stage %s", stages[i].Name)
-			}
-		}
-	}
-	return levels, nil
+// errLoop is the combinational-loop rejection raised by levelize; the caller
+// wraps it in ErrInvalidNetlist with the rest of the pre-flight taxonomy.
+func errLoop(stage string) error {
+	return fmt.Errorf("sta: combinational loop through stage %s", stage)
 }

@@ -1,0 +1,61 @@
+package stages
+
+import (
+	"testing"
+
+	"qwm/internal/circuit"
+	"qwm/internal/mos"
+)
+
+func TestWideNetlistStructure(t *testing.T) {
+	tech := mos.CMOSP35()
+	const fan, segs = 5, 12
+	nl, ins, outs, err := WideNetlist(tech, fan, segs, 1e-6, 10e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0] != "in" {
+		t.Fatalf("inputs = %v", ins)
+	}
+	if len(outs) != fan {
+		t.Fatalf("got %d outputs, want %d", len(outs), fan)
+	}
+	// 1 input inverter + fan drivers (each absorbing its wire chain) + fan
+	// receivers = 2*fan + 1 channel-connected stages.
+	sts := circuit.ExtractStages(nl, outs)
+	if got, want := len(sts), 2*fan+1; got != want {
+		t.Fatalf("got %d stages, want %d", got, want)
+	}
+	// Every driver stage carries its full wire chain: 2 devices + segs wires.
+	wireStages := 0
+	for _, st := range sts {
+		wires := 0
+		for _, e := range st.Edges {
+			if e.Kind == circuit.KindWire {
+				wires++
+			}
+		}
+		if wires > 0 {
+			wireStages++
+			if wires != segs {
+				t.Errorf("stage %s has %d wire edges, want %d", st.Name, wires, segs)
+			}
+		}
+	}
+	if wireStages != fan {
+		t.Fatalf("%d stages carry wires, want %d", wireStages, fan)
+	}
+	// The transistor geometry is identical across branches by construction —
+	// that is what makes the branches one equivalence class.
+	for _, tr := range nl.Transistors {
+		if tr.L != tech.LMin {
+			t.Fatalf("transistor %s has L=%g, want LMin", tr.Name, tr.L)
+		}
+	}
+	if _, _, _, err := WideNetlist(tech, 0, 12, 1e-6, 0); err == nil {
+		t.Error("fan=0 accepted")
+	}
+	if _, _, _, err := WideNetlist(tech, 1, 1, 1e-6, 0); err == nil {
+		t.Error("segs=1 accepted")
+	}
+}

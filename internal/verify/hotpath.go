@@ -1,0 +1,224 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/obs"
+	"qwm/internal/reduce"
+	"qwm/internal/sta"
+	"qwm/internal/stages"
+)
+
+// HotPathCase is one generated workload for the hot-path feature
+// differential: a wide fanout netlist (stages.WideNetlist) whose branches
+// are structurally identical — the shape equivalence-class memoization
+// collapses — with long series wire runs — the shape the reduction pre-pass
+// collapses. Light and Heavy share the structure; Heavy scales every branch
+// output load, which is the class-level incarnation of the sibling aliasing
+// trap: the loads are part of the structural fingerprint, so a correct memo
+// must never serve Heavy from Light's entries.
+type HotPathCase struct {
+	Name      string
+	Fan, Segs int
+	Light     *AnalyzeCase
+	Heavy     *AnalyzeCase
+}
+
+// GenHotPathCase draws a wide netlist with 3–8 identical branches, 12–24
+// wire segments per branch, and a heavy-load sibling scaled 6–30×.
+func GenHotPathCase(tech *mos.Tech, r *rand.Rand, i int) (*HotPathCase, error) {
+	fan := 3 + r.Intn(6)
+	segs := 12 + r.Intn(13)
+	w := (0.8 + 1.4*r.Float64()) * 1e-6
+	cl := (2 + 10*r.Float64()) * 1e-15
+	scale := 6 + 24*r.Float64()
+	arrival := r.Float64() * 120e-12
+	slew := r.Float64() * 90e-12
+	build := func(load float64) (*AnalyzeCase, error) {
+		nl, ins, outs, err := stages.WideNetlist(tech, fan, segs, w, load)
+		if err != nil {
+			return nil, err
+		}
+		primary := make(map[string]sta.Arrival, len(ins))
+		for _, in := range ins {
+			primary[in] = sta.Arrival{
+				Rise: arrival, Fall: arrival,
+				RiseSlew: slew, FallSlew: slew,
+			}
+		}
+		return &AnalyzeCase{Netlist: nl, Primary: primary, Outputs: outs}, nil
+	}
+	light, err := build(cl)
+	if err != nil {
+		return nil, err
+	}
+	heavy, err := build(cl * scale)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("wide%03d-f%d-s%d", i, fan, segs)
+	light.Name, heavy.Name = name+"-light", name+"-heavy"
+	return &HotPathCase{Name: name, Fan: fan, Segs: segs, Light: light, Heavy: heavy}, nil
+}
+
+// HotPathDiff is the outcome of one hot-path feature differential. Four
+// legs, mirroring the PR's acceptance contract:
+//
+//  1. features explicitly disabled ⇒ bit-identical to the default engine
+//     (and zero reduction/class activity reported);
+//  2. features on ⇒ every output arrival within the configured tolerance of
+//     the exact run, with the reduction and memoization demonstrably active;
+//  3. features on, serial vs parallel ⇒ bit-identical arrivals, critical
+//     path and accounting;
+//  4. Light then Heavy on one shared features-on analyzer ⇒ Heavy
+//     bit-identical to a fresh features-on analyzer (the class-level
+//     aliasing trap), and measurably different from Light.
+type HotPathDiff struct {
+	Name string `json:"name"`
+	// MaxErrPct is the worst features-on arrival deviation from the exact
+	// run, in percent (leg 2).
+	MaxErrPct float64 `json:"max_err_pct"`
+	// ReducedNodes / ClassCount / ClassHits echo the features-on run's
+	// diagnostics so the report shows the features actually fired.
+	ReducedNodes int      `json:"reduced_nodes"`
+	ClassCount   int      `json:"class_count"`
+	ClassHits    int      `json:"class_hits"`
+	Mismatches   []string `json:"mismatches,omitempty"`
+	Pass         bool     `json:"pass"`
+	Err          string   `json:"err,omitempty"`
+}
+
+// analyzeHot runs one case on a fresh analyzer with the given feature
+// configuration and worker count.
+func analyzeHot(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int,
+	red reduce.Config, memo sta.MemoConfig, metrics *obs.Registry) (*sta.Analyzer, *sta.Result, error) {
+	a := sta.New(tech, lib)
+	a.Workers = workers
+	a.Metrics = metrics
+	a.Reduction = red
+	a.Memo = memo
+	res, err := a.Analyze(c.Netlist, c.Primary, c.Outputs)
+	return a, res, err
+}
+
+// maxArrivalErrPct returns the worst relative rise/fall arrival deviation of
+// got from ref across all outputs, in percent.
+func maxArrivalErrPct(ref, got *sta.Result) float64 {
+	worst := 0.0
+	for net, r := range ref.Arrivals {
+		g := got.Arrivals[net]
+		for _, p := range [2][2]float64{{r.Rise, g.Rise}, {r.Fall, g.Fall}} {
+			if p[0] == 0 {
+				continue
+			}
+			if e := 100 * math.Abs(p[1]-p[0]) / math.Abs(p[0]); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// RunHotPathDiff executes the four-leg hot-path differential on one case.
+func RunHotPathDiff(tech *mos.Tech, lib *devmodel.Library, c *HotPathCase, workers int, tolPct float64) HotPathDiff {
+	return RunHotPathDiffObserved(tech, lib, c, workers, tolPct, nil)
+}
+
+// RunHotPathDiffObserved is RunHotPathDiff with an optional metrics registry
+// attached to every analyzer it constructs.
+func RunHotPathDiffObserved(tech *mos.Tech, lib *devmodel.Library, c *HotPathCase, workers int, tolPct float64, metrics *obs.Registry) HotPathDiff {
+	d := HotPathDiff{Name: c.Name}
+	offCfg, offMemo := reduce.Config{}, sta.MemoConfig{}
+	onCfg := reduce.Config{Enabled: true}
+	onMemo := sta.MemoConfig{Enabled: true, Interp: true}
+
+	// Exact reference: the default engine, serial.
+	_, ref, err := analyzeHot(tech, lib, c.Light, 1, offCfg, offMemo, metrics)
+	if err != nil {
+		d.Err = "reference: " + err.Error()
+		return d
+	}
+
+	// Leg 1: explicitly zeroed feature knobs must be a true no-op — same
+	// bits, same cache-key namespace, no reported activity.
+	_, off, err := analyzeHot(tech, lib, c.Light, 1,
+		reduce.Config{Enabled: false, TolPct: 5}, sta.MemoConfig{Enabled: false, Interp: true}, metrics)
+	if err != nil {
+		d.Err = "features-off: " + err.Error()
+		return d
+	}
+	d.Mismatches = diffResults("features-off", ref, off, d.Mismatches)
+	if off.StagesEvaluated != ref.StagesEvaluated {
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf("features-off evaluated %d stages, reference %d", off.StagesEvaluated, ref.StagesEvaluated))
+	}
+	if off.ReducedNodes != 0 || off.ClassCount != 0 || off.ClassHits != 0 {
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf("disabled features reported activity: %+v", off.Diagnostics))
+	}
+
+	// Leg 2: features on — bounded error, demonstrably active.
+	_, on, err := analyzeHot(tech, lib, c.Light, 1, onCfg, onMemo, metrics)
+	if err != nil {
+		d.Err = "features-on: " + err.Error()
+		return d
+	}
+	d.MaxErrPct = maxArrivalErrPct(ref, on)
+	d.ReducedNodes, d.ClassCount, d.ClassHits = on.ReducedNodes, on.ClassCount, on.ClassHits
+	if d.MaxErrPct > tolPct {
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf("features-on arrival error %.2f%% exceeds %.2f%%", d.MaxErrPct, tolPct))
+	}
+	if on.ReducedNodes == 0 {
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf("reduction removed no nodes on a %d-segment wire netlist", c.Segs))
+	}
+	if on.ClassCount == 0 || on.ClassHits == 0 {
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf("memo saw no class sharing across %d identical branches", c.Fan))
+	}
+
+	// Leg 3: features on, serial vs parallel — bit-identical.
+	_, par, err := analyzeHot(tech, lib, c.Light, workers, onCfg, onMemo, metrics)
+	if err != nil {
+		d.Err = "features-on parallel: " + err.Error()
+		return d
+	}
+	d.Mismatches = diffResults("hot-serial-vs-parallel", on, par, d.Mismatches)
+	if par.StagesEvaluated != on.StagesEvaluated || par.ClassCount != on.ClassCount ||
+		par.ClassHits != on.ClassHits || par.ReducedNodes != on.ReducedNodes {
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf("parallel accounting %+v, serial %+v", par.Diagnostics, on.Diagnostics))
+	}
+
+	// Leg 4: the class-level aliasing trap. Light then Heavy on one shared
+	// features-on analyzer; Heavy must match a fresh features-on analyzer
+	// bit for bit (the loads are part of the fingerprint, so Heavy's classes
+	// can never resolve to Light's entries) and must differ from Light.
+	shared := sta.New(tech, lib)
+	shared.Workers = workers
+	shared.Metrics = metrics
+	shared.Reduction = onCfg
+	shared.Memo = onMemo
+	lightRes, err := shared.Analyze(c.Light.Netlist, c.Light.Primary, c.Light.Outputs)
+	if err != nil {
+		d.Err = "shared light: " + err.Error()
+		return d
+	}
+	heavyShared, err := shared.Analyze(c.Heavy.Netlist, c.Heavy.Primary, c.Heavy.Outputs)
+	if err != nil {
+		d.Err = "shared heavy: " + err.Error()
+		return d
+	}
+	_, heavyRef, err := analyzeHot(tech, lib, c.Heavy, 1, onCfg, onMemo, metrics)
+	if err != nil {
+		d.Err = "fresh heavy: " + err.Error()
+		return d
+	}
+	d.Mismatches = diffResults("hot-shared-vs-fresh", heavyRef, heavyShared, d.Mismatches)
+	if reflect.DeepEqual(lightRes.Arrivals, heavyShared.Arrivals) {
+		d.Mismatches = append(d.Mismatches, "heavy-load arrivals identical to light-load arrivals (memo ignored loads)")
+	}
+
+	d.Pass = len(d.Mismatches) == 0
+	return d
+}

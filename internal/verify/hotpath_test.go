@@ -1,0 +1,51 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+
+	"qwm/internal/bench"
+	"qwm/internal/mos"
+)
+
+// TestHotPathDiff runs the four-leg hot-path differential on one generated
+// wide case: features-off bit-identity, features-on bounded error with the
+// reduction and memoization demonstrably active, serial/parallel identity,
+// and the class-level load-aliasing trap. It also pins determinism: running
+// the identical case twice yields the identical record.
+func TestHotPathDiff(t *testing.T) {
+	tech := mos.CMOSP35()
+	h, err := bench.NewHarness(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := GenHotPathCase(tech, newRand(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := RunHotPathDiff(tech, h.Lib, c, 4, 10)
+	if d.Err != "" {
+		t.Fatal(d.Err)
+	}
+	if !d.Pass {
+		t.Fatalf("hot-path diff failed: %v", d.Mismatches)
+	}
+	if d.ReducedNodes == 0 {
+		t.Error("reduction reported no removed nodes")
+	}
+	if d.ClassCount == 0 || d.ClassHits == 0 {
+		t.Errorf("memo accounting empty: classes %d, hits %d", d.ClassCount, d.ClassHits)
+	}
+	if d.MaxErrPct > 10 {
+		t.Errorf("features-on error %.2f%% over tolerance", d.MaxErrPct)
+	}
+
+	c2, err := GenHotPathCase(tech, newRand(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := RunHotPathDiff(tech, h.Lib, c2, 4, 10)
+	if !reflect.DeepEqual(d, d2) {
+		t.Fatalf("hot-path diff not reproducible:\n%+v\nvs\n%+v", d, d2)
+	}
+}

@@ -54,6 +54,10 @@ type Summary struct {
 	SiblingPairs      int `json:"sibling_pairs"`
 	SiblingMismatches int `json:"sibling_mismatches"`
 
+	HotPathCases      int     `json:"hotpath_cases"`
+	HotPathMismatches int     `json:"hotpath_mismatches"`
+	MaxHotPathErrPct  float64 `json:"max_hotpath_err_pct"`
+
 	// Pass requires: median accuracy >= 95 %, no equivalence mismatches,
 	// and no engine errors.
 	Pass bool `json:"pass"`
@@ -67,6 +71,7 @@ type Report struct {
 	Stage   []StageDiff   `json:"stage_cases"`
 	Analyze []AnalyzeDiff `json:"analyze_cases"`
 	Sibling []AnalyzeDiff `json:"sibling_pairs"`
+	HotPath []HotPathDiff `json:"hotpath_cases,omitempty"`
 	Summary Summary       `json:"summary"`
 	// Metrics is the aggregated STA engine metrics snapshot of the run
 	// (counters + histograms), present when Config.Metrics was set.
@@ -90,7 +95,10 @@ func percentile(sorted []float64, p float64) float64 {
 // Finalize computes the summary from the accumulated per-case records.
 func (r *Report) Finalize() {
 	s := &r.Summary
-	*s = Summary{StageCases: len(r.Stage), AnalyzeCases: len(r.Analyze), SiblingPairs: len(r.Sibling)}
+	*s = Summary{
+		StageCases: len(r.Stage), AnalyzeCases: len(r.Analyze),
+		SiblingPairs: len(r.Sibling), HotPathCases: len(r.HotPath),
+	}
 
 	var delayErrs, slewErrs, accs []float64
 	for _, d := range r.Stage {
@@ -136,9 +144,17 @@ func (r *Report) Finalize() {
 			s.SiblingMismatches++
 		}
 	}
+	for _, d := range r.HotPath {
+		if !d.Pass {
+			s.HotPathMismatches++
+		}
+		if d.MaxErrPct > s.MaxHotPathErrPct {
+			s.MaxHotPathErrPct = d.MaxErrPct
+		}
+	}
 	s.Pass = s.MedianAccuracyPct >= 95 &&
 		s.AnalyzeMismatches == 0 && s.SiblingMismatches == 0 &&
-		s.StageErrors == 0
+		s.HotPathMismatches == 0 && s.StageErrors == 0
 }
 
 // JSON renders the report with indentation.

@@ -23,6 +23,10 @@ type Config struct {
 	// sibling-aliasing case counts; 0 derives them from N (N/5 and N/10,
 	// floors 4 and 2).
 	AnalyzeN, PairN int
+	// HotPathN is the hot-path feature differential case count (reduction
+	// off ⇒ bit-identical, on ⇒ bounded error, memoization never crosses
+	// the class-level aliasing trap); 0 derives it from N (N/10, floor 2).
+	HotPathN int
 	// Workers is the parallel worker count for the serial-vs-parallel
 	// differential. Default 8.
 	Workers int
@@ -51,6 +55,12 @@ func (c Config) withDefaults() Config {
 		c.PairN = c.N / 10
 		if c.PairN < 2 {
 			c.PairN = 2
+		}
+	}
+	if c.HotPathN <= 0 {
+		c.HotPathN = c.N / 10
+		if c.HotPathN < 2 {
+			c.HotPathN = 2
 		}
 	}
 	if c.Workers <= 0 {
@@ -98,6 +108,18 @@ func Run(cfg Config) (*Report, error) {
 		rep.Sibling = append(rep.Sibling, d)
 		if cfg.Progress != nil {
 			cfg.Progress("sibling %s: %s", d.Name, passMark(d.Pass, d.Err))
+		}
+	}
+	for i := 0; i < cfg.HotPathN; i++ {
+		c, err := GenHotPathCase(tech, r, i)
+		if err != nil {
+			return nil, fmt.Errorf("verify: generate hot-path case %d: %w", i, err)
+		}
+		d := RunHotPathDiffObserved(tech, h.Lib, c, cfg.Workers, cfg.TolPct, cfg.Metrics)
+		rep.HotPath = append(rep.HotPath, d)
+		if cfg.Progress != nil {
+			cfg.Progress("hotpath %s: err %.2f%% (reduced %d, class hits %d) %s",
+				d.Name, d.MaxErrPct, d.ReducedNodes, d.ClassHits, passMark(d.Pass, d.Err))
 		}
 	}
 	rep.Finalize()
