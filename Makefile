@@ -2,15 +2,16 @@
 # must pass: vet, build, the targeted observability race suite, the full
 # test suite under the race detector, the trace-export and ops-server
 # lifecycle smokes, a smoke run of the STA-parallel, solver-kernel,
-# observed-analyze and hot-path wide benchmarks (plus the dated JSON
-# snapshot), a small-budget differential-verification sweep, and a small
-# fault-injection (chaos) sweep over every fault class.
+# observed-analyze, hot-path wide and incremental-reanalysis benchmarks
+# (plus the dated JSON snapshot), a small-budget differential-verification
+# sweep, a small fault-injection (chaos) sweep over every fault class, and
+# the incremental (ECO) edit-sequence differential.
 
 GO ?= go
 
-.PHONY: ci vet build test race race-obs trace-smoke leak-check bench bench-full bench-json verify verify-full chaos chaos-full
+.PHONY: ci vet build test race race-obs trace-smoke leak-check bench bench-full bench-json verify verify-full chaos chaos-full eco eco-full
 
-ci: vet build race-obs race trace-smoke leak-check bench bench-json verify chaos
+ci: vet build race-obs race trace-smoke leak-check bench bench-json verify chaos eco
 
 vet:
 	$(GO) vet ./...
@@ -52,7 +53,7 @@ leak-check:
 # hot-path wide-netlist benchmark (reduction+memo off vs on).
 bench:
 	$(GO) test -run '^$$' -bench 'STAParallel|SolverKernels' -benchtime 1x -benchmem .
-	$(GO) test -run '^$$' -bench 'AnalyzeObserved|WarmCacheLookup|STAWide' -benchtime 1x -benchmem ./internal/sta/
+	$(GO) test -run '^$$' -bench 'AnalyzeObserved|WarmCacheLookup|STAWide|AnalyzeIncremental' -benchtime 1x -benchmem ./internal/sta/
 
 # Full benchmark sweep (regenerates every table/figure; slow).
 bench-full:
@@ -64,7 +65,7 @@ bench-full:
 # benchstat-compatible JSON at the repo root, stamped with today's date.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'STAParallel' -benchtime 1x -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved|STAWide' -benchtime 1x -benchmem ./internal/sta/ ; } \
+	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved|STAWide|AnalyzeIncremental' -benchtime 1x -benchmem ./internal/sta/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
 
 # Small-budget differential verification: 25 seeded stage netlists checked
@@ -88,3 +89,15 @@ chaos:
 # The full chaos acceptance sweep (more cases, JSON report on stdout).
 chaos-full:
 	$(GO) run ./cmd/verify -chaos -seed 1 -chaos-n 8
+
+# Incremental (ECO) gate: the randomized edit-sequence differential —
+# incremental vs from-scratch bit equality across the feature matrix plus
+# dirty-cone minimality — and the TierSpice cross-member identity pin from
+# the class-memoization fix. Exits non-zero on any mismatch.
+eco:
+	$(GO) run ./cmd/verify -eco -seed 1 -eco-edits 4 -o /dev/null
+	$(GO) test -run 'TestSpiceCrossMemberBitIdentity|TestEvalSpicePathCanonical' -count=1 ./internal/sta/
+
+# The full ECO acceptance sweep (longer edit sequences, JSON on stdout).
+eco-full:
+	$(GO) run ./cmd/verify -eco -seed 1 -eco-edits 8

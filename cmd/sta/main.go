@@ -28,6 +28,13 @@
 // snapping to the bucket floor. -cache-stats then also reports how many RC
 // nodes the pre-pass removed and the class count/hit tallies.
 //
+// -eco routes the analysis through the incremental (ECO) scheduler and then
+// re-runs it: the second pass diffs per-stage content digests against the
+// first, finds nothing dirty, and replays every arrival from the memo with
+// zero solver work — the flow an edit-measure-edit optimization loop runs
+// thousands of times (see internal/sizing). Both passes print a
+// dirty/skipped/early-stop summary line.
+//
 // Evaluations that fail to converge (or exhaust -nr-budget / -wall-budget)
 // escalate a degradation ladder — QWM Newton, QWM bisection, adaptive
 // transient, conservative RC bound — so the report is always complete; a
@@ -77,6 +84,7 @@ func main() {
 		redTol   = flag.Float64("reduce", 0, "enable the RC-chain reduction pre-pass with this moment-mismatch tolerance in percent (0 = off)")
 		memo     = flag.Bool("memo", false, "enable equivalence-class stage memoization (evaluation slew snapped to 5 ps buckets)")
 		interp   = flag.Bool("interp", false, "with -memo, interpolate between slew-bucket boundary evaluations instead of floor-snapping")
+		eco      = flag.Bool("eco", false, "run through the incremental (ECO) scheduler and demonstrate a no-op re-run: the second pass diffs per-stage content digests against the first and replays everything clean")
 		trace    = flag.String("trace", "", "write the analysis as Chrome trace-event JSON to this file")
 		traceDet = flag.Bool("trace-deterministic", false, "write the deterministic trace variant (synthetic clock, schedule-independent; byte-identical at any -workers)")
 		serve    = flag.String("serve", "", "after the analysis, serve the ops endpoints (/metrics /healthz /trace /debug/vars /debug/pprof/) on this address until SIGINT/SIGTERM")
@@ -90,7 +98,7 @@ func main() {
 	if *interp && !*memo {
 		fmt.Fprintln(os.Stderr, "sta: -interp has no effect without -memo")
 	}
-	feat := hotPathFlags{reduceTol: *redTol, memo: *memo, interp: *interp}
+	feat := hotPathFlags{reduceTol: *redTol, memo: *memo, interp: *interp, eco: *eco}
 	if err := run(*deckPath, *inputs, *outputs, *verbose, *workers, budget, feat, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sta:", err)
 		os.Exit(1)
@@ -105,10 +113,11 @@ type opsOptions struct {
 	serveAddr          string
 }
 
-// hotPathFlags bundles the accelerator knobs (-reduce/-memo/-interp).
+// hotPathFlags bundles the accelerator knobs (-reduce/-memo/-interp/-eco).
 type hotPathFlags struct {
 	reduceTol    float64
 	memo, interp bool
+	eco          bool
 }
 
 func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta.EvalBudget, feat hotPathFlags, ops opsOptions) error {
@@ -165,6 +174,7 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 	var recorder *obs.TraceRecorder
 	req := sta.Request{
 		Netlist: deck.Netlist, Primary: primary, Outputs: outs, Budget: budget,
+		Incremental: feat.eco,
 	}
 	if ops.tracePath != "" || ops.serveAddr != "" {
 		recorder = obs.NewTraceRecorder()
@@ -182,6 +192,19 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 		// A degraded run still reports complete arrivals, but the operator
 		// must see which directions came from a fallback tier.
 		fmt.Printf("DEGRADED: %s\n", res.Diagnostics)
+	}
+	if feat.eco {
+		fmt.Printf("eco: %d dirty, %d skipped, %d early-stops\n",
+			res.ECO.DirtyStages, res.ECO.SkippedStages, res.ECO.EarlyStops)
+		// The first incremental call has no baseline, so everything above is
+		// dirty; the re-run shows the ECO payoff on an unedited deck — every
+		// stage replays from the memo with zero solver work.
+		rerun, err := a.AnalyzeContext(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("eco re-run: %w", err)
+		}
+		fmt.Printf("eco re-run: %d dirty, %d skipped, %d early-stops, %d stage evaluations\n",
+			rerun.ECO.DirtyStages, rerun.ECO.SkippedStages, rerun.ECO.EarlyStops, rerun.StagesEvaluated)
 	}
 	if ops.stats {
 		cs := a.CacheStats()

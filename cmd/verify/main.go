@@ -40,10 +40,20 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run the fault-injection sweep instead: every case re-run under each fault class (see internal/faultinject)")
 		chaosN    = flag.Int("chaos-n", 6, "number of generated analyze cases in the chaos sweep")
 		chaosRate = flag.Float64("chaos-rate", 1, "per-class firing rate in (0,1]; 1 arms the strict tier-coverage assertions")
+
+		eco      = flag.Bool("eco", false, "run the incremental (ECO) edit-sequence differential instead: randomized resize/load/buffer edits, incremental vs from-scratch bit equality plus dirty-cone minimality")
+		ecoEdits = flag.Int("eco-edits", 6, "number of edit steps per (workload, variant) sequence in the eco sweep")
 	)
 	flag.Parse()
 	if *chaos {
 		if err := runChaos(*seed, *chaosN, *chaosRate, *workers, *outPath, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *eco {
+		if err := runECO(*seed, *ecoEdits, *workers, *outPath, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "verify:", err)
 			os.Exit(1)
 		}
@@ -86,6 +96,42 @@ func runChaos(seed int64, n int, rate float64, workers int, outPath string, verb
 		return fmt.Errorf("chaos gates failed")
 	}
 	fmt.Fprintln(os.Stderr, "verify -chaos: PASS")
+	return nil
+}
+
+// runECO executes the randomized edit-sequence differential and gates on the
+// incremental engine's invariants: bit-for-bit equality with the from-scratch
+// schedule (at workers 1 and N, across the plain/memo/interp/reduce/chaos
+// matrix), dirty counts bounded by the edit's structural fanout closure, and
+// zero re-evaluation on no-op reruns.
+func runECO(seed int64, edits, workers int, outPath string, verbose bool) error {
+	cfg := verify.ECOConfig{Seed: seed, Edits: edits, Workers: workers}
+	if verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := verify.RunECO(cfg)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(string(b))
+	}
+	fmt.Fprintf(os.Stderr, "verify -eco: %d sequences (%d edits each), %d failures\n",
+		len(rep.Sequences), edits, rep.Failures)
+	if !rep.Pass {
+		return fmt.Errorf("eco gates failed")
+	}
+	fmt.Fprintln(os.Stderr, "verify -eco: PASS")
 	return nil
 }
 

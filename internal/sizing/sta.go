@@ -1,0 +1,67 @@
+package sizing
+
+import (
+	"fmt"
+
+	"qwm/internal/circuit"
+	"qwm/internal/sta"
+)
+
+// STAEvaluator adapts a full netlist-level STA run as the sizing objective:
+// each Eval writes the candidate widths into its devices in place and runs
+// one incremental (ECO) analysis on a persistent Analyzer, so the optimizer's
+// inner loop pays only the edited devices' dirty cones instead of the whole
+// netlist. This is the flow the incremental engine exists for — a sizing
+// sweep re-analyzes the same netlist hundreds of times with one- or
+// two-device edits between runs.
+type STAEvaluator struct {
+	// Analyzer is the persistent engine; its ECO memo and delay cache carry
+	// across Eval calls. Required.
+	Analyzer *sta.Analyzer
+	// Netlist is mutated in place by Eval (device widths only). Required.
+	Netlist *circuit.Netlist
+	// Primary/Outputs define the analysis request. Required.
+	Primary map[string]sta.Arrival
+	Outputs []string
+	// Devices are the transistors the width vector maps onto, positionally.
+	// Required, and Eval's widths slice must have the same length.
+	Devices []*circuit.Transistor
+	// Epsilon is the ECO early-stop tolerance (0 = exact bit equality; see
+	// sta.Request.Epsilon). A loose epsilon trades bit-exact objective
+	// values for smaller dirty cones.
+	Epsilon float64
+	// FullReanalysis bypasses the ECO scheduler, re-analyzing from scratch
+	// on every Eval. The zero value — incremental — is the point of this
+	// adapter; the flag exists so the same loop can be timed both ways.
+	FullReanalysis bool
+
+	// Cumulative accounting across Eval calls, for reporting the loop's
+	// incremental payoff.
+	Analyses   int
+	Dirty      int
+	Skipped    int
+	EarlyStops int
+}
+
+// Eval implements Evaluate: it installs widths onto the devices and returns
+// the worst arrival of the outputs.
+func (e *STAEvaluator) Eval(widths []float64) (float64, error) {
+	if len(widths) != len(e.Devices) {
+		return 0, fmt.Errorf("sizing: %d widths for %d devices", len(widths), len(e.Devices))
+	}
+	for i, d := range e.Devices {
+		d.W = widths[i]
+	}
+	res, err := e.Analyzer.AnalyzeContext(nil, sta.Request{
+		Netlist: e.Netlist, Primary: e.Primary, Outputs: e.Outputs,
+		Incremental: !e.FullReanalysis, Epsilon: e.Epsilon,
+	})
+	if err != nil {
+		return 0, err
+	}
+	e.Analyses++
+	e.Dirty += res.ECO.DirtyStages
+	e.Skipped += res.ECO.SkippedStages
+	e.EarlyStops += res.ECO.EarlyStops
+	return res.WorstArrival, nil
+}

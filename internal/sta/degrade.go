@@ -266,12 +266,77 @@ func pathInputs(path *circuit.Path, sw wave.Waveform, onLevel float64) map[strin
 	return inputs
 }
 
+// spiceRename builds the canonical node-renaming map for the TierSpice
+// sub-netlist: rails keep their names, path channel nodes become "n%d" in
+// path order, gate nets become "g%d" by order of first appearance along the
+// path (the fingerprint's gate-ordinal scheme), and off-path load nodes
+// become "z%d" in (value, name)-sorted order — the name tie-break is safe
+// because equal-value isolated grounded caps are interchangeable. It returns
+// the map plus the original path-node and off-path node lists in canonical
+// order, so callers can register caps in a member-independent sequence.
+//
+// The rename exists because spice.New indexes the MNA matrix by SORTED node
+// name: without it, two class-memoized siblings (identical fingerprints,
+// different net names) built matrices with different elimination orders and
+// produced different float results — whichever member computed the shared
+// cache entry leaked its names into the value, breaking bitwise determinism
+// below the QWM tiers.
+func spiceRename(path *circuit.Path, loads map[string]float64) (ren map[string]string, pathNodes, offNodes []string) {
+	ren = map[string]string{
+		circuit.GroundNode: circuit.GroundNode,
+		circuit.SupplyNode: circuit.SupplyNode,
+	}
+	for i, pe := range path.Elems {
+		if i == 0 {
+			if _, ok := ren[pe.Lower]; !ok {
+				ren[pe.Lower] = "n" + fmt.Sprint(len(pathNodes))
+				pathNodes = append(pathNodes, pe.Lower)
+			}
+		}
+		if _, ok := ren[pe.Upper]; !ok {
+			ren[pe.Upper] = "n" + fmt.Sprint(len(pathNodes))
+			pathNodes = append(pathNodes, pe.Upper)
+		}
+	}
+	gi := 0
+	for _, pe := range path.Elems {
+		if pe.Edge.Kind == circuit.KindWire {
+			continue
+		}
+		if _, ok := ren[pe.Edge.Gate]; !ok {
+			ren[pe.Edge.Gate] = "g" + fmt.Sprint(gi)
+			gi++
+		}
+	}
+	for node := range loads {
+		if _, ok := ren[node]; !ok {
+			offNodes = append(offNodes, node)
+		}
+	}
+	sort.Slice(offNodes, func(i, j int) bool {
+		ci, cj := loads[offNodes[i]], loads[offNodes[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return offNodes[i] < offNodes[j]
+	})
+	for i, node := range offNodes {
+		ren[node] = "z" + fmt.Sprint(i)
+	}
+	return ren, pathNodes, offNodes
+}
+
 // evalSpicePath is the TierSpice evaluation: the worst path is rebuilt as a
 // self-contained transistor netlist — path devices, the worst-case gate
 // stimulus, the fanout loads as explicit capacitors, rail sources, and the
 // precharged initial condition — and integrated with the LTE-controlled
 // adaptive trapezoidal transient. A different algorithm family than QWM, so
 // the Newton failure that brought the ladder here cannot recur.
+//
+// Every node of the sub-netlist carries a canonical name (see spiceRename)
+// and every element is registered in canonical path order, so the result is
+// a pure function of the path/load structure — two stages with equal
+// fingerprints evaluate bit-identically no matter what their nets are called.
 func (a *Analyzer) evalSpicePath(st *circuit.Stage, path *circuit.Path, out, rail string, loads map[string]float64, inSlew float64) (dirResult, error) {
 	vdd := a.Tech.VDD
 	sw, onLevel, tIn := stimulus(vdd, rail, inSlew)
@@ -283,45 +348,65 @@ func (a *Analyzer) evalSpicePath(st *circuit.Stage, path *circuit.Path, out, rai
 		icLevel = 0
 	}
 
+	ren, pathNodes, offNodes := spiceRename(path, loads)
+	rout, ok := ren[out]
+	if !ok {
+		return dirResult{}, fmt.Errorf("sta: spice tier: output %q not on evaluated path", out)
+	}
+
 	n := &circuit.Netlist{}
 	n.AddVSource("vvdd", circuit.SupplyNode, circuit.GroundNode, wave.DC(vdd))
-	for g, w := range pathInputs(path, sw, onLevel) {
+	// Gate stimuli in path order (first conducting gate switches, the rest
+	// are held at the on-level): ranging over the pathInputs map here was a
+	// latent nondeterminism — registration order fed the matrix node order.
+	first := true
+	gateDone := map[string]bool{}
+	for _, pe := range path.Elems {
+		if pe.Edge.Kind == circuit.KindWire || gateDone[pe.Edge.Gate] {
+			continue
+		}
+		gateDone[pe.Edge.Gate] = true
+		w := wave.Waveform(wave.DC(onLevel))
+		if first {
+			w, first = sw, false
+		}
+		g := ren[pe.Edge.Gate]
 		n.AddVSource("v"+g, g, circuit.GroundNode, w)
 	}
 	ic := map[string]float64{}
 	for i, pe := range path.Elems {
 		switch pe.Edge.Kind {
 		case circuit.KindWire:
-			n.AddResistor(fmt.Sprintf("r%d", i), pe.Lower, pe.Upper, pe.Edge.R)
+			n.AddResistor(fmt.Sprintf("r%d", i), ren[pe.Lower], ren[pe.Upper], pe.Edge.R)
 		case circuit.KindNMOS:
 			n.AddTransistor(&circuit.Transistor{
 				Name: fmt.Sprintf("m%d", i), Kind: circuit.KindNMOS,
-				Drain: pe.Upper, Gate: pe.Edge.Gate, Source: pe.Lower,
+				Drain: ren[pe.Upper], Gate: ren[pe.Edge.Gate], Source: ren[pe.Lower],
 				Body: circuit.GroundNode, W: pe.Edge.W, L: pe.Edge.L,
 			})
 		case circuit.KindPMOS:
 			n.AddTransistor(&circuit.Transistor{
 				Name: fmt.Sprintf("m%d", i), Kind: circuit.KindPMOS,
-				Drain: pe.Upper, Gate: pe.Edge.Gate, Source: pe.Lower,
+				Drain: ren[pe.Upper], Gate: ren[pe.Edge.Gate], Source: ren[pe.Lower],
 				Body: circuit.SupplyNode, W: pe.Edge.W, L: pe.Edge.L,
 			})
 		default:
 			return dirResult{}, fmt.Errorf("sta: spice tier: unsupported element kind %v", pe.Edge.Kind)
 		}
-		ic[pe.Upper] = icLevel
+		ic[ren[pe.Upper]] = icLevel
 	}
-	// Deterministic load-cap order: map iteration order leaks into node
-	// registration (and therefore matrix elimination) order, which made the
-	// spice tier's float results run-order dependent.
-	loadNodes := make([]string, 0, len(loads))
-	for node := range loads {
-		loadNodes = append(loadNodes, node)
-	}
-	sort.Strings(loadNodes)
+	// Load caps in canonical order: path nodes in path order, then off-path
+	// nodes in their value-sorted order.
 	ci := 0
-	for _, node := range loadNodes {
+	for _, node := range pathNodes {
 		if c := loads[node]; c > 0 {
-			n.AddCapacitor(fmt.Sprintf("cl%d", ci), node, circuit.GroundNode, c)
+			n.AddCapacitor(fmt.Sprintf("cl%d", ci), ren[node], circuit.GroundNode, c)
+			ci++
+		}
+	}
+	for _, node := range offNodes {
+		if c := loads[node]; c > 0 {
+			n.AddCapacitor(fmt.Sprintf("cl%d", ci), ren[node], circuit.GroundNode, c)
 			ci++
 		}
 	}
@@ -355,7 +440,7 @@ func (a *Analyzer) evalSpicePath(st *circuit.Stage, path *circuit.Path, out, rai
 			c := p.JunctionCap(p.DefaultJunction(e.W), vdd/2)
 			srcHalf, _ := p.ChannelCapSplit(e.W, e.L)
 			c += p.OverlapCap(e.W) + srcHalf
-			n.AddCapacitor(fmt.Sprintf("cp%d", pi), nd, circuit.GroundNode, c)
+			n.AddCapacitor(fmt.Sprintf("cp%d", pi), ren[nd], circuit.GroundNode, c)
 			pi++
 		}
 	}
@@ -372,12 +457,12 @@ func (a *Analyzer) evalSpicePath(st *circuit.Stage, path *circuit.Path, out, rai
 		TStop:       tstop,
 		HMax:        5e-12,
 		IC:          ic,
-		RecordNodes: []string{out},
+		RecordNodes: []string{rout},
 	})
 	if err != nil {
 		return dirResult{}, fmt.Errorf("sta: spice tier: %w", err)
 	}
-	w, err := res.Waveform(out)
+	w, err := res.Waveform(rout)
 	if err != nil {
 		return dirResult{}, fmt.Errorf("sta: spice tier: %w", err)
 	}

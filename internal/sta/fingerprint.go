@@ -26,8 +26,35 @@ type MemoConfig struct {
 	// linearly interpolates delay and slew at the exact input slew (the
 	// internal/devmodel table idiom applied to the stage cache). More
 	// accurate than floor-snapping for slews far from a boundary, at the
-	// cost of up to two evaluations per new bucket.
+	// cost of up to two evaluations per new bucket. Boundary evaluations
+	// share the snap-mode ("|b") key namespace, so a slew sitting exactly on
+	// a bucket floor is bit-identical to snap mode and costs one eval.
 	Interp bool
+	// FPCap bounds the raw-key → class-key memo (fpTable): when an insert
+	// would grow the table past the cap, the table is flushed and the
+	// flushed entries are counted on the "sta/class/fp_evictions" metric.
+	// Resolutions are cheap to recompute, so a rare full flush beats LRU
+	// bookkeeping on the gather-phase hot path. 0 means the default
+	// (65536 entries); negative means unbounded. FPCap does not affect
+	// cache-key namespaces (it is absent from Signature).
+	FPCap int
+}
+
+// defaultFPCap bounds fpTable when MemoConfig.FPCap is 0. At two entries per
+// (stage, output) — one per rail — 65536 covers ~32k live stage outputs,
+// far beyond the workloads here, while capping worst-case churn memory.
+const defaultFPCap = 65536
+
+// fpCap resolves the effective fpTable bound: cap <= 0 with FPCap < 0 means
+// unlimited.
+func (m MemoConfig) fpCap() int {
+	switch {
+	case m.FPCap > 0:
+		return m.FPCap
+	case m.FPCap < 0:
+		return 0
+	}
+	return defaultFPCap
 }
 
 // Signature distinguishes memoized key namespaces; class keys additionally
@@ -68,13 +95,57 @@ func (t *fpTable) lookupB(raw []byte) (string, bool) {
 	return s, ok
 }
 
-func (t *fpTable) store(raw, canon string) {
+// store inserts one resolution, flushing the whole table first when the
+// insert would exceed cap (cap <= 0 means unbounded). It returns the number
+// of entries evicted by that flush so the caller can feed the eviction
+// metric without holding the lock.
+func (t *fpTable) store(raw, canon string, cap int) int {
 	t.mu.Lock()
 	if t.m == nil {
 		t.m = map[string]string{}
 	}
+	evicted := 0
+	if _, exists := t.m[raw]; !exists && cap > 0 && len(t.m) >= cap {
+		evicted = len(t.m)
+		t.m = make(map[string]string, cap/4)
+	}
 	t.m[raw] = canon
 	t.mu.Unlock()
+	return evicted
+}
+
+// remove deletes one resolution, reporting whether it was present.
+func (t *fpTable) remove(raw string) bool {
+	t.mu.Lock()
+	_, ok := t.m[raw]
+	if ok {
+		delete(t.m, raw)
+	}
+	t.mu.Unlock()
+	return ok
+}
+
+// invalidateFP drops the fpTable resolutions of a stage whose content digest
+// changed (ECO dirty diffing): each per-output content key has one memo entry
+// per rail, and after an edit both point at a class the stage no longer
+// belongs to. Without this the table accretes one dead entry per edited
+// stage for the Analyzer's lifetime. Evictions land on the
+// "sta/class/fp_evictions" metric alongside cap flushes.
+func (a *Analyzer) invalidateFP(contentKeys []string) {
+	n := 0
+	for _, ck := range contentKeys {
+		if a.fp.remove(ck + "|" + circuit.GroundNode) {
+			n++
+		}
+		if a.fp.remove(ck + "|" + circuit.SupplyNode) {
+			n++
+		}
+	}
+	if n > 0 {
+		if ms := a.metricSet(); ms != nil {
+			ms.fpEvictions.Add(int64(n))
+		}
+	}
 }
 
 // classBase resolves the canonical per-direction key base for one (stage,
@@ -92,7 +163,11 @@ func (a *Analyzer) classBase(raw string, st *circuit.Stage, out, rail string, lo
 	if ok {
 		canon = "C|" + redSig + "|" + fp + "|" + rail
 	}
-	a.fp.store(raw, canon)
+	if evicted := a.fp.store(raw, canon, a.Memo.fpCap()); evicted > 0 {
+		if ms := a.metricSet(); ms != nil {
+			ms.fpEvictions.Add(int64(evicted))
+		}
+	}
 	return canon
 }
 

@@ -32,6 +32,10 @@ const (
 	mReduceNodes    = "sta/reduce/nodes_removed"
 	mClassHits      = "sta/class_hits"
 	mClasses        = "sta/classes"
+	mFPEvictions    = "sta/class/fp_evictions"
+	mEcoDirty       = "sta/eco/dirty_stages"
+	mEcoSkipped     = "sta/eco/skipped_stages"
+	mEcoEarly       = "sta/eco/early_stops"
 	// mTierPrefix + Tier.String() counts computed directions per ladder
 	// tier (e.g. "sta/tier_evals/qwm", "sta/tier_evals/rc-bound").
 	mTierPrefix = "sta/tier_evals/"
@@ -76,6 +80,9 @@ type metricSet struct {
 	degraded, panicsRec      *obs.Counter
 	reduceNodes              *obs.Counter
 	classHits, classes       *obs.Counter
+	fpEvictions              *obs.Counter
+	ecoDirty, ecoSkipped     *obs.Counter
+	ecoEarly                 *obs.Counter
 	tierEvals                [NumTiers]*obs.Counter
 	nrIterHist, regionHist   *obs.Histogram
 	evalSeconds              *obs.Histogram
@@ -102,6 +109,10 @@ func newMetricSet(r *obs.Registry) *metricSet {
 		reduceNodes:    r.Counter(mReduceNodes),
 		classHits:      r.Counter(mClassHits),
 		classes:        r.Counter(mClasses),
+		fpEvictions:    r.Counter(mFPEvictions),
+		ecoDirty:       r.Counter(mEcoDirty),
+		ecoSkipped:     r.Counter(mEcoSkipped),
+		ecoEarly:       r.Counter(mEcoEarly),
 		nrIterHist:     r.Histogram(hNRItersPerEval, nrIterBounds),
 		regionHist:     r.Histogram(hRegionsPerEval, regionBounds),
 		evalSeconds:    r.Histogram(hEvalSeconds, secondsBounds),
@@ -242,6 +253,11 @@ func (r *recorder) analyzeEnd(res *Result, err error) {
 			r.ms.panicsRec.Add(int64(res.PanicsRecovered))
 			r.ms.classHits.Add(int64(res.ClassHits))
 			r.ms.classes.Add(int64(res.ClassCount))
+			if res.ECO.Incremental {
+				r.ms.ecoDirty.Add(int64(res.ECO.DirtyStages))
+				r.ms.ecoSkipped.Add(int64(res.ECO.SkippedStages))
+				r.ms.ecoEarly.Add(int64(res.ECO.EarlyStops))
+			}
 		}
 		r.ms.analyzeSec.Observe(time.Since(r.start).Seconds())
 	}

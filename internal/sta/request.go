@@ -47,6 +47,21 @@ type Request struct {
 	// setting. Nil (production) costs one predictable branch per site.
 	// The cache caveat above applies equally to Fault.
 	Fault *faultinject.Injector
+	// Incremental turns on ECO dirty-cone re-analysis: the Analyzer keeps a
+	// per-stage content-digest + arrival memo from the previous incremental
+	// run, and only stages whose digest changed (or that sit downstream of a
+	// changed arrival) are re-evaluated; the rest replay their memoized
+	// arrivals and diagnostics. The first incremental call has no baseline
+	// and analyzes everything. Results are bit-for-bit identical to a
+	// from-scratch analysis when Epsilon is 0 (see eco.go). Incremental
+	// requests on one Analyzer are serialized against each other;
+	// non-incremental requests never touch the memo.
+	Incremental bool
+	// Epsilon is the ECO early-stop tolerance: a re-computed arrival within
+	// Epsilon (absolute, per field) of the memoized one does not propagate
+	// dirtiness downstream. 0 means exact bit equality — the only setting
+	// that preserves the incremental ≡ from-scratch guarantee.
+	Epsilon float64
 }
 
 // AnalyzeContext runs a full timing analysis for one request: the netlist
@@ -66,6 +81,12 @@ type Request struct {
 // Deterministic) are bit-for-bit identical at any Workers setting.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result, err error) {
 	a.ensureCache()
+	if req.Incremental {
+		// Incremental runs read and replace the Analyzer's ECO baseline, so
+		// they are serialized; plain runs stay lock-free and concurrent.
+		a.ecoMu.Lock()
+		defer a.ecoMu.Unlock()
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -151,11 +172,28 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 		res.Arrivals[circuit.CanonName(net)] = ar
 	}
 
+	// Incremental (ECO) mode: diff per-stage content digests against the
+	// previous committed run and schedule only dirty stages (see eco.go).
+	var eco *ecoRun
+	if req.Incremental {
+		eco = a.beginECO(s, res, producer, req.Epsilon)
+		res.ECO.Incremental = true
+	}
+
 	for li, level := range levels {
 		// Cancellation checkpoint between levels: completed levels keep
 		// their cache entries, the rest of the schedule is abandoned.
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
+		}
+
+		// Clean stages replay their memoized arrivals inside filterLevel;
+		// only the dirty remainder reaches the gather/evaluate machinery.
+		if eco != nil {
+			level = eco.filterLevel(a, s, level, loads, res, redSig)
+			if len(level) == 0 {
+				continue
+			}
 		}
 
 		// Size this level's slabs up front: appends below can then never
@@ -239,7 +277,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 		k := 0
 		for si2, st := range level {
 			si := &ins[si2]
-			for _, out := range st.Outputs {
+			for oi, out := range st.Outputs {
 				fall, rise := items[k].timing, items[k+1].timing
 				k += 2
 				res.recordEvalIssues(out, fall, rise)
@@ -258,6 +296,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 					s.predRise[out] = si.fallFrom
 				}
 				res.Arrivals[out] = ar
+				if eco != nil {
+					eco.noteOutput(st, oi, out, ar, fall, rise, res)
+				}
 			}
 		}
 	}
@@ -297,6 +338,11 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 			break
 		}
 		net = p
+	}
+	// Commit the new ECO baseline only on success: a failed or cancelled run
+	// leaves the previous self-consistent memo in place.
+	if eco != nil {
+		a.ecoPrev = eco.commit(s, res, req)
 	}
 	return res, nil
 }

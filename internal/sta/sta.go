@@ -101,6 +101,12 @@ type Analyzer struct {
 	// hot path never performs a name lookup.
 	msOnce sync.Once
 	ms     *metricSet
+
+	// ecoMu serializes incremental (Request.Incremental) runs; ecoPrev is
+	// the committed baseline of the last successful incremental run (see
+	// eco.go). Plain runs never touch either.
+	ecoMu   sync.Mutex
+	ecoPrev *ecoMemo
 }
 
 // New creates an analyzer with a fresh delay cache.
@@ -255,6 +261,9 @@ type Result struct {
 	// (Result.EvalErrors, Result.EvalErrorDetail, Result.SlewFallbacks)
 	// still compile; they are deprecated in favor of Result.Diagnostics.
 	Diagnostics
+	// ECO carries the incremental-run accounting (dirty/skipped stages,
+	// epsilon early-stops); the zero value for plain runs.
+	ECO ECOStats
 }
 
 // outEval is the per-(stage, output) evaluation context, memoized once per
@@ -469,13 +478,17 @@ func (a *Analyzer) resolveTiming(it *workItem, env *evalEnv) (dirTiming, bool) {
 	if !a.Memo.Interp {
 		return a.lookupOrEval(it.appendKey(base, "|b", bucket), it, env, floor)
 	}
-	t0, c0 := a.lookupOrEval(it.appendKey(base, "|e", bucket), it, env, floor)
+	// Interp shares the "|b" bucket-floor namespace with snap mode: both
+	// evaluate at exactly the boundary slew with identical inputs, so a
+	// separate interp namespace only duplicated every boundary entry (and a
+	// boundary-sitting slew, frac == 0, paid an eval snap mode had cached).
+	t0, c0 := a.lookupOrEval(it.appendKey(base, "|b", bucket), it, env, floor)
 	frac := (it.inSlew - floor) / slewPitch
 	if frac <= 0 || !t0.ok {
 		return t0, c0
 	}
 	ceil := float64(bucket+1) * slewPitch
-	t1, c1 := a.lookupOrEval(it.appendKey(base, "|e", bucket+1), it, env, ceil)
+	t1, c1 := a.lookupOrEval(it.appendKey(base, "|b", bucket+1), it, env, ceil)
 	if !t1.ok {
 		// The upper boundary failed (budget chaos, pathological geometry):
 		// fall back to the floor evaluation rather than half an interpolant.

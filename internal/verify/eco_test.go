@@ -1,0 +1,24 @@
+package verify
+
+import "testing"
+
+// TestRunECOSmoke runs a reduced-budget ECO sweep: every workload × variant
+// sequence with a short edit schedule must pass the incremental ≡ scratch
+// and dirty-cone-minimality gates. The full-budget sweep runs via `make eco`.
+func TestRunECOSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eco sweep in -short mode")
+	}
+	rep, err := RunECO(ECOConfig{Seed: 1, Edits: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Sequences {
+		if !s.Pass {
+			t.Errorf("%s/%s: %v", s.Workload, s.Variant, s.Problems)
+		}
+	}
+	if !rep.Pass {
+		t.Fatalf("eco sweep failed: %d sequences", rep.Failures)
+	}
+}
