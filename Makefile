@@ -1,17 +1,20 @@
 # CI entry points for the qwm repository. `make ci` is the gate a change
 # must pass: vet, build, the targeted observability race suite, the full
 # test suite under the race detector, the trace-export and ops-server
-# lifecycle smokes, a smoke run of the STA-parallel, solver-kernel,
-# observed-analyze, hot-path wide and incremental-reanalysis benchmarks
-# (plus the dated JSON snapshot), a small-budget differential-verification
-# sweep, a small fault-injection (chaos) sweep over every fault class, and
-# the incremental (ECO) edit-sequence differential.
+# lifecycle smokes, the HTTP service smoke (200 + schema-valid response,
+# 429 backpressure under a flooded queue), a smoke run of the STA-parallel,
+# solver-kernel, observed-analyze, hot-path wide, incremental-reanalysis
+# and warm-disk-service benchmarks (plus the dated JSON snapshot), a
+# small-budget differential-verification sweep, a small fault-injection
+# (chaos) sweep over every fault class, the incremental (ECO) edit-sequence
+# differential, and the service-path differential (wire bit-transparency,
+# warm-disk restart, chaos through POST /analyze).
 
 GO ?= go
 
-.PHONY: ci vet build test race race-obs trace-smoke leak-check bench bench-full bench-json verify verify-full chaos chaos-full eco eco-full
+.PHONY: ci vet build test race race-obs trace-smoke leak-check service-smoke bench bench-full bench-json verify verify-full chaos chaos-full eco eco-full service-verify
 
-ci: vet build race-obs race trace-smoke leak-check bench bench-json verify chaos eco
+ci: vet build race-obs race trace-smoke leak-check service-smoke bench bench-json verify chaos eco service-verify
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +50,12 @@ trace-smoke:
 leak-check:
 	$(GO) test -run 'TestServerStartShutdownNoLeak' -count=1 ./internal/obs/
 
+# HTTP service smoke: POST /analyze of a decoder deck returns 200 with a
+# schema-valid v1 envelope (cold evaluates, warm reports 0 evaluations),
+# and a deterministically flooded queue sheds with 429 + Retry-After.
+service-smoke:
+	$(GO) test -race -run 'TestAnalyzeSingle|TestAnalyzeErrors|TestBackpressure429' -count=1 ./internal/service/
+
 # One-iteration smoke of the perf-critical benchmarks: the parallel STA
 # engine at every worker width, the in-place linear-solver kernels, the
 # observability-overhead comparison (bare vs observer vs metrics), and the
@@ -65,7 +74,8 @@ bench-full:
 # benchstat-compatible JSON at the repo root, stamped with today's date.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'STAParallel' -benchtime 1x -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved|STAWide|AnalyzeIncremental' -benchtime 1x -benchmem ./internal/sta/ ; } \
+	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved|STAWide|AnalyzeIncremental' -benchtime 1x -benchmem ./internal/sta/ ; \
+	  $(GO) test -run '^$$' -bench 'ServiceWarmDisk' -benchtime 1x -benchmem ./internal/service/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
 
 # Small-budget differential verification: 25 seeded stage netlists checked
@@ -101,3 +111,11 @@ eco:
 # The full ECO acceptance sweep (longer edit sequences, JSON on stdout).
 eco-full:
 	$(GO) run ./cmd/verify -eco -seed 1 -eco-edits 8
+
+# Service-path differential: the HTTP/JSON front door must be bit-transparent
+# relative to the in-process engine, a restarted server over a warm cache
+# directory must answer bit-identically with a >=90% disk hit rate, and
+# chaos requests through POST /analyze must stay deterministic, conservative
+# and isolated from the analyzer pool. Exits non-zero on any violation.
+service-verify:
+	$(GO) run ./cmd/verify -service -o /dev/null

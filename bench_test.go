@@ -339,9 +339,8 @@ func BenchmarkSTAParallel(b *testing.B) {
 		}
 	}
 	analyze := func(workers int) *sta.Result {
-		a := sta.New(tech, lib)
-		a.Workers = workers
-		res, err := a.Analyze(nl, primary, outs)
+		a := sta.New(tech, lib, sta.Config{Workers: workers})
+		res, err := a.AnalyzeContext(nil, sta.Request{Netlist: nl, Primary: primary, Outputs: outs})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -45,16 +45,25 @@
 // (load it in Perfetto; -trace-deterministic writes the schedule-independent
 // variant instead). -serve ADDR keeps the process alive after the analysis
 // and serves /metrics (Prometheus), /healthz (503 while the last run is
-// degraded), /trace, /debug/vars and /debug/pprof/ until SIGINT/SIGTERM.
+// degraded or the analysis queue is saturated), /trace, /debug/vars and
+// /debug/pprof/ until SIGINT/SIGTERM — plus the analysis front door itself:
+// POST /analyze (single requests and batches in the versioned v1 wire
+// schema, see internal/api/v1) and GET /result/{id} for async batches.
+// -cache-dir DIR adds the persistent content-addressed delay-cache tier
+// below the served analyzers' in-memory caches, so a restarted process
+// answers warm. -metrics-json output is the versioned v1 metrics envelope.
+// For a serve-only daemon without the one-shot deck analysis, see cmd/stad.
 //
 //	sta -deck decoder.sp -outputs y0,y1 -trace run.trace.json
-//	sta -deck decoder.sp -outputs y0,y1 -serve :8080
+//	sta -deck decoder.sp -outputs y0,y1 -serve :8080 -cache-dir /var/tmp/qwm
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -62,11 +71,13 @@ import (
 	"syscall"
 	"time"
 
+	"qwm/internal/api/v1"
 	"qwm/internal/devmodel"
 	"qwm/internal/mos"
 	"qwm/internal/netlist"
 	"qwm/internal/obs"
 	"qwm/internal/reduce"
+	"qwm/internal/service"
 	"qwm/internal/sta"
 )
 
@@ -87,13 +98,17 @@ func main() {
 		eco      = flag.Bool("eco", false, "run through the incremental (ECO) scheduler and demonstrate a no-op re-run: the second pass diffs per-stage content digests against the first and replays everything clean")
 		trace    = flag.String("trace", "", "write the analysis as Chrome trace-event JSON to this file")
 		traceDet = flag.Bool("trace-deterministic", false, "write the deterministic trace variant (synthetic clock, schedule-independent; byte-identical at any -workers)")
-		serve    = flag.String("serve", "", "after the analysis, serve the ops endpoints (/metrics /healthz /trace /debug/vars /debug/pprof/) on this address until SIGINT/SIGTERM")
+		serve    = flag.String("serve", "", "after the analysis, serve the ops endpoints (/metrics /healthz /trace /debug/vars /debug/pprof/) plus the analysis front door (POST /analyze, GET /result/) on this address until SIGINT/SIGTERM")
+		cacheDir = flag.String("cache-dir", "", "with -serve, root directory for the persistent delay-cache tier (empty = memory only)")
 	)
 	flag.Parse()
 	budget := sta.EvalBudget{NRIters: *nrBudget, Wall: *wallB}
 	opts := opsOptions{
 		stats: *stats, metricsJSON: *metrics,
-		tracePath: *trace, traceDet: *traceDet, serveAddr: *serve,
+		tracePath: *trace, traceDet: *traceDet, serveAddr: *serve, cacheDir: *cacheDir,
+	}
+	if *cacheDir != "" && *serve == "" {
+		fmt.Fprintln(os.Stderr, "sta: -cache-dir has no effect without -serve")
 	}
 	if *interp && !*memo {
 		fmt.Fprintln(os.Stderr, "sta: -interp has no effect without -memo")
@@ -111,6 +126,7 @@ type opsOptions struct {
 	tracePath          string
 	traceDet           bool
 	serveAddr          string
+	cacheDir           string
 }
 
 // hotPathFlags bundles the accelerator knobs (-reduce/-memo/-interp/-eco).
@@ -157,20 +173,21 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 	}
 
 	tech := mos.CMOSP35()
-	a := sta.New(tech, devmodel.NewLibrary(tech))
-	a.Workers = workers
+	lib := devmodel.NewLibrary(tech)
+	cfg := sta.Config{Workers: workers}
 	if feat.reduceTol > 0 {
-		a.Reduction = reduce.Config{Enabled: true, TolPct: feat.reduceTol}
+		cfg.Reduction = reduce.Config{Enabled: true, TolPct: feat.reduceTol}
 	}
 	if feat.memo {
-		a.Memo = sta.MemoConfig{Enabled: true, Interp: feat.interp}
+		cfg.Memo = sta.MemoConfig{Enabled: true, Interp: feat.interp}
 	}
 	if ops.metricsJSON || ops.stats || ops.serveAddr != "" {
-		a.Metrics = obs.NewRegistry()
-		if !a.Metrics.Publish("sta") {
+		cfg.Metrics = obs.NewRegistry()
+		if !cfg.Metrics.Publish("sta") {
 			fmt.Fprintln(os.Stderr, `sta: expvar name "sta" already taken; /debug/vars will not show this registry`)
 		}
 	}
+	a := sta.New(tech, lib, cfg)
 	var recorder *obs.TraceRecorder
 	req := sta.Request{
 		Netlist: deck.Netlist, Primary: primary, Outputs: outs, Budget: budget,
@@ -220,7 +237,7 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 		printQuantiles(a.Metrics.Snapshot())
 	}
 	if ops.metricsJSON {
-		js, jerr := a.Metrics.Snapshot().JSON()
+		js, jerr := json.MarshalIndent(v1.NewMetricsEnvelope(a.Metrics.Snapshot()), "", "  ")
 		if jerr != nil {
 			return jerr
 		}
@@ -253,7 +270,7 @@ func run(deckPath, inputs, outputs string, verbose bool, workers int, budget sta
 		fmt.Fprintf(os.Stderr, "sta: trace written to %s\n", ops.tracePath)
 	}
 	if ops.serveAddr != "" {
-		return serveOps(ops.serveAddr, a.Metrics, recorder, res)
+		return serveOps(ops, tech, lib, workers, a.Metrics, recorder, res)
 	}
 	return nil
 }
@@ -279,30 +296,49 @@ func printQuantiles(snap obs.Snapshot) {
 	}
 }
 
-// serveOps blocks serving the ops endpoints until SIGINT/SIGTERM, then shuts
-// the listener down gracefully. Health reflects the completed analysis: 503
-// while its diagnostics report degradation.
-func serveOps(addr string, reg *obs.Registry, recorder *obs.TraceRecorder, res *sta.Result) error {
+// serveOps blocks serving the ops endpoints plus the analysis front door
+// until SIGINT/SIGTERM, then shuts both down gracefully. Health reflects the
+// completed one-shot analysis AND the serving queue: 503 while the run's
+// diagnostics report degradation or the work queue is saturated.
+func serveOps(ops opsOptions, tech *mos.Tech, lib *devmodel.Library, workers int, reg *obs.Registry, recorder *obs.TraceRecorder, res *sta.Result) error {
+	svc := service.New(tech, lib, service.Options{
+		CacheDir:        ops.cacheDir,
+		AnalyzerWorkers: workers,
+		Metrics:         reg,
+	})
+	svcHandler := svc.Handler()
 	srv := &obs.Server{
 		Registry: reg,
 		Trace:    recorder,
 		Health: func() (bool, string) {
+			if ok, detail := svc.Healthy(); !ok {
+				return false, detail
+			}
 			if res.Diagnostics.Healthy() {
 				return true, "ok"
 			}
 			return false, res.Diagnostics.String()
 		},
+		Extra: map[string]http.Handler{
+			"/analyze": svcHandler,
+			"/result/": svcHandler,
+		},
 	}
-	bound, err := srv.Start(addr)
+	bound, err := srv.Start(ops.serveAddr)
 	if err != nil {
+		svc.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sta: ops server on http://%s (/metrics /healthz /trace /debug/vars /debug/pprof/); ctrl-c to stop\n", bound)
+	fmt.Fprintf(os.Stderr, "sta: serving on http://%s (POST /analyze, GET /result/, /metrics /healthz /trace /debug/vars /debug/pprof/); ctrl-c to stop\n", bound)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	signal.Stop(sig)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return srv.Shutdown(ctx)
+	err = srv.Shutdown(ctx)
+	if cerr := svc.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,107 @@
+// Command stad is the timing-analysis daemon: the serving-only counterpart
+// of cmd/sta -serve. It runs no one-shot analysis — it binds an address and
+// serves the versioned v1 wire API (internal/api/v1) over the STA engine
+// until SIGINT/SIGTERM:
+//
+//	POST /analyze      one AnalyzeRequest, or a BatchRequest ("requests"
+//	                   key); sync by default, async batches return 202 + id
+//	GET  /result/{id}  poll an async batch
+//	GET  /metrics      Prometheus exposition (service, engine and disk-tier
+//	                   counters)
+//	GET  /healthz      200 while accepting work, 503 while the queue is
+//	                   saturated (use it for load-balancer draining)
+//	     /debug/vars, /debug/pprof/  expvar and pprof
+//
+// Analyzers are pooled by request signature (features + budget); with
+// -cache-dir every pool entry is backed by a persistent content-addressed
+// delay cache, so a restarted daemon answers bit-identically warm:
+//
+//	stad -addr :8080 -cache-dir /var/tmp/qwm -cache-bytes 268435456
+//	curl -s localhost:8080/analyze -d '{"netlist":"...deck text...","outputs":["y0"]}'
+//
+// When the admission queue is full the daemon sheds load with 429 +
+// Retry-After rather than queueing unbounded work; size -queue and -workers
+// to the deployment.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/obs"
+	"qwm/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "root directory for the persistent delay-cache tier (empty = memory only)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "per-signature disk-cache size cap in bytes (0 = 256 MiB default, negative = unlimited)")
+		queueLen   = flag.Int("queue", 64, "admission-queue capacity in sub-requests; a full queue sheds with 429")
+		workers    = flag.Int("workers", 2, "queue-draining workers (concurrent analyses)")
+		analyzerW  = flag.Int("analyzer-workers", 0, "per-analysis stage-evaluation workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheDir, *cacheBytes, *queueLen, *workers, *analyzerW); err != nil {
+		fmt.Fprintln(os.Stderr, "stad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWorkers int) error {
+	reg := obs.NewRegistry()
+	if !reg.Publish("stad") {
+		fmt.Fprintln(os.Stderr, `stad: expvar name "stad" already taken; /debug/vars will not show this registry`)
+	}
+	tech := mos.CMOSP35()
+	svc := service.New(tech, devmodel.NewLibrary(tech), service.Options{
+		QueueLen:        queueLen,
+		Workers:         workers,
+		AnalyzerWorkers: analyzerWorkers,
+		CacheDir:        cacheDir,
+		CacheBytes:      cacheBytes,
+		Metrics:         reg,
+	})
+	svcHandler := svc.Handler()
+	srv := &obs.Server{
+		Registry: reg,
+		Health:   svc.Healthy,
+		Extra: map[string]http.Handler{
+			"/analyze": svcHandler,
+			"/result/": svcHandler,
+		},
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	cache := "memory-only"
+	if cacheDir != "" {
+		cache = "disk tier at " + cacheDir
+	}
+	fmt.Fprintf(os.Stderr, "stad: serving on http://%s (POST /analyze, GET /result/, /metrics /healthz); %s; ctrl-c to stop\n", bound, cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
+	fmt.Fprintln(os.Stderr, "stad: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	// Close after the listener stops: no new work can arrive, in-flight
+	// analyses finish, the disk tier flushes.
+	if cerr := svc.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

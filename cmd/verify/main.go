@@ -43,8 +43,17 @@ func main() {
 
 		eco      = flag.Bool("eco", false, "run the incremental (ECO) edit-sequence differential instead: randomized resize/load/buffer edits, incremental vs from-scratch bit equality plus dirty-cone minimality")
 		ecoEdits = flag.Int("eco-edits", 6, "number of edit steps per (workload, variant) sequence in the eco sweep")
+
+		svc = flag.Bool("service", false, "run the service-path differential instead: direct-vs-wire bit identity, warm-disk restart with >=90% hit rate, and the chaos contract through POST /analyze")
 	)
 	flag.Parse()
+	if *svc {
+		if err := runService(*seed, *workers, *outPath, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaos {
 		if err := runChaos(*seed, *chaosN, *chaosRate, *workers, *outPath, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "verify:", err)
@@ -132,6 +141,42 @@ func runECO(seed int64, edits, workers int, outPath string, verbose bool) error 
 		return fmt.Errorf("eco gates failed")
 	}
 	fmt.Fprintln(os.Stderr, "verify -eco: PASS")
+	return nil
+}
+
+// runService executes the service-path differential and gates on its wire
+// invariants: the HTTP/JSON front door must be bit-transparent relative to
+// the in-process engine, a restarted replica over a warm cache directory
+// must answer identically with a >=90 % disk hit rate, and chaos requests
+// must stay deterministic, conservative, and isolated from the pool.
+func runService(seed int64, workers int, outPath string, verbose bool) error {
+	cfg := verify.ServiceConfig{Seed: seed, Workers: workers}
+	if verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := verify.RunService(cfg)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(string(b))
+	}
+	fmt.Fprintf(os.Stderr, "verify -service: %d cells, %d failures, disk hit rate %.3f\n",
+		len(rep.Cells), rep.Failures, rep.DiskHitRate)
+	if !rep.Pass {
+		return fmt.Errorf("service gates failed")
+	}
+	fmt.Fprintln(os.Stderr, "verify -service: PASS")
 	return nil
 }
 

@@ -25,9 +25,11 @@ func main() {
 	a := sta.New(tech, lib)
 
 	start := time.Now()
-	res, err := a.Analyze(nl, map[string]sta.Arrival{
-		"a0": {}, "b0": {}, "b1": {}, "b2": {}, "b3": {},
-	}, []string{"out"})
+	res, err := a.AnalyzeContext(nil, sta.Request{
+		Netlist: nl,
+		Primary: map[string]sta.Arrival{"a0": {}, "b0": {}, "b1": {}, "b2": {}, "b3": {}},
+		Outputs: []string{"out"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,9 +48,11 @@ func main() {
 		t.W *= 2
 	}
 	start = time.Now()
-	res2, err := a.Analyze(nl, map[string]sta.Arrival{
-		"a0": {}, "b0": {}, "b1": {}, "b2": {}, "b3": {},
-	}, []string{"out"})
+	res2, err := a.AnalyzeContext(nil, sta.Request{
+		Netlist: nl,
+		Primary: map[string]sta.Arrival{"a0": {}, "b0": {}, "b1": {}, "b2": {}, "b3": {}},
+		Outputs: []string{"out"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("service/queue/depth")
+	if g.Value() != 0 {
+		t.Fatalf("fresh gauge = %d, want 0", g.Value())
+	}
+	g.Add(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("after +5 -2: %d, want 3", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("after Set(7): %d, want 7", g.Value())
+	}
+	if g2 := r.Gauge("service/queue/depth"); g2 != g {
+		t.Fatal("re-registering the same name returned a different gauge")
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge must be a no-op instrument")
+	}
+	var nilR *Registry
+	if nilR.Gauge("x") != nil {
+		t.Fatal("nil registry must hand out nil gauges")
+	}
+}
+
+func TestGaugeSnapshotMergeAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	snap := r.Snapshot()
+	if snap.Gauges != nil {
+		t.Fatalf("snapshot without gauges should have a nil Gauges map, got %v", snap.Gauges)
+	}
+	js, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(js), "gauges") {
+		t.Fatalf("gauge-free snapshot JSON must omit the gauges key:\n%s", js)
+	}
+
+	r.Gauge("depth").Set(4)
+	snap = r.Snapshot()
+	if snap.Gauges["depth"] != 4 {
+		t.Fatalf("snapshot gauge = %d, want 4", snap.Gauges["depth"])
+	}
+
+	// Merge into a gauge-free snapshot lazily creates the map and sums.
+	base := NewRegistry().Snapshot()
+	if err := base.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	if base.Gauges["depth"] != 8 {
+		t.Fatalf("merged gauge = %d, want 8", base.Gauges["depth"])
+	}
+
+	// Filter keeps gauges that pass and drops the map when none do.
+	kept := snap.Filter(func(name string) bool { return name == "depth" })
+	if kept.Gauges["depth"] != 4 {
+		t.Fatalf("filtered gauge = %d, want 4", kept.Gauges["depth"])
+	}
+	none := snap.Filter(func(name string) bool { return name == "c" })
+	if none.Gauges != nil {
+		t.Fatalf("filter dropping every gauge should leave a nil map, got %v", none.Gauges)
+	}
+}
+
+func TestGaugePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("service/queue/depth").Set(3)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE service_queue_depth gauge",
+		"service_queue_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

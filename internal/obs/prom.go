@@ -20,13 +20,24 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		name string // sanitized
 		emit func(io.Writer) error
 	}
-	fams := make([]family, 0, len(s.Counters)+len(s.Histograms))
+	fams := make([]family, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
 
 	for name, v := range s.Counters {
 		name, v := name, v
 		pn := PromName(name)
 		fams = append(fams, family{name: pn, emit: func(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				pn, helpText(name), pn, pn, v); err != nil {
+				return err
+			}
+			return nil
+		}})
+	}
+	for name, v := range s.Gauges {
+		name, v := name, v
+		pn := PromName(name)
+		fams = append(fams, family{name: pn, emit: func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
 				pn, helpText(name), pn, pn, v); err != nil {
 				return err
 			}

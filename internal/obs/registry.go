@@ -53,6 +53,35 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an atomic instantaneous-value instrument: unlike a Counter it may
+// go down (queue depth, pooled analyzers, live cache bytes). The zero value
+// is ready to use; a nil *Gauge is a valid no-op instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease). No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram is a fixed-bucket histogram with atomic buckets. Bucket i
 // counts observations v with bounds[i-1] < v <= bounds[i] (the first bucket
 // has no lower bound); one extra overflow bucket counts v > bounds[last].
@@ -147,6 +176,7 @@ type Registry struct {
 type regShard struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -155,6 +185,7 @@ func NewRegistry() *Registry {
 	r := &Registry{}
 	for i := range r.shards {
 		r.shards[i].counters = map[string]*Counter{}
+		r.shards[i].gauges = map[string]*Gauge{}
 		r.shards[i].hists = map[string]*Histogram{}
 	}
 	return r
@@ -190,6 +221,32 @@ func (r *Registry) Counter(name string) *Counter {
 		sh.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// A nil registry returns a nil (no-op) gauge. Gauge names share the
+// namespace with counters and histograms but the three kinds never collide:
+// the same name may not be used for two different instrument kinds (each
+// kind has its own map, so reusing a name across kinds simply yields two
+// series with the same name in the snapshot — don't).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	sh := r.shard(name)
+	sh.mu.RLock()
+	g := sh.gauges[name]
+	sh.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if g = sh.gauges[name]; g == nil {
+		g = &Gauge{}
+		sh.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -287,6 +344,11 @@ func (h HistSnapshot) Quantile(q float64) float64 {
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
+	// Gauges is omitted from the JSON when no gauge was ever registered, so
+	// registries that use only counters and histograms (the STA engine)
+	// marshal exactly as they did before gauges existed — the byte-identity
+	// determinism checks are unaffected.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
 }
 
 // Snapshot freezes the registry's current state. A nil registry yields an
@@ -302,6 +364,12 @@ func (r *Registry) Snapshot() Snapshot {
 		for name, c := range sh.counters {
 			s.Counters[name] = c.Value()
 		}
+		for name, g := range sh.gauges {
+			if s.Gauges == nil {
+				s.Gauges = map[string]int64{}
+			}
+			s.Gauges[name] = g.Value()
+		}
 		for name, h := range sh.hists {
 			s.Histograms[name] = h.snapshot()
 		}
@@ -310,12 +378,22 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// Merge adds other into s (counter sums, bucket-wise histogram sums).
-// Histograms present in both must share bounds; a shape mismatch is
-// reported as an error and leaves that histogram untouched.
-func (s Snapshot) Merge(other Snapshot) error {
+// Merge adds other into s (counter sums, gauge sums, bucket-wise histogram
+// sums). Histograms present in both must share bounds; a shape mismatch is
+// reported as an error and leaves that histogram untouched. The receiver is
+// a pointer only so a gauge map can be created lazily; the counter and
+// histogram maps are mutated in place as before.
+func (s *Snapshot) Merge(other Snapshot) error {
 	for name, v := range other.Counters {
 		s.Counters[name] += v
+	}
+	// Gauges sum across replicas: queue depths and cache sizes aggregate
+	// meaningfully, and summing keeps Merge associative like the counters.
+	for name, v := range other.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]int64{}
+		}
+		s.Gauges[name] += v
 	}
 	var firstErr error
 	for name, oh := range other.Histograms {
@@ -376,6 +454,14 @@ func (s Snapshot) Filter(keep func(name string) bool) Snapshot {
 	for name, h := range s.Histograms {
 		if keep(name) {
 			out.Histograms[name] = h
+		}
+	}
+	for name, v := range s.Gauges {
+		if keep(name) {
+			if out.Gauges == nil {
+				out.Gauges = map[string]int64{}
+			}
+			out.Gauges[name] = v
 		}
 	}
 	return out

@@ -34,6 +34,11 @@ type Server struct {
 	// Trace backs /trace. Nil (or an empty recorder) responds 404 until an
 	// analysis has been recorded.
 	Trace *TraceRecorder
+	// Extra maps additional route patterns to handlers mounted on the same
+	// mux — how the analysis front door (internal/service: /analyze,
+	// /result/) shares one listener with the ops surface. Patterns here must
+	// not collide with the built-in routes.
+	Extra map[string]http.Handler
 
 	mu   sync.Mutex
 	srv  *http.Server
@@ -55,6 +60,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range s.Extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"qwm/internal/api/v1"
+)
+
+// maxBodyBytes bounds one POST body. Netlists are text; 8 MiB is far above
+// any deck this engine targets and keeps a hostile client from ballooning
+// the process.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service mux: POST /analyze and GET /result/{id}.
+// Mount it alongside an obs.Server handler for the full serving surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/result/", s.handleResult)
+	return mux
+}
+
+// httpStatus maps a v1 response to its transport status. The wire envelope
+// carries the real verdict; the HTTP code exists for clients and proxies
+// that route on status alone.
+func httpStatus(resp v1.AnalyzeResponse) int {
+	if resp.Status == v1.StatusOK {
+		return http.StatusOK
+	}
+	if resp.Error == nil {
+		return http.StatusInternalServerError
+	}
+	switch resp.Error.Code {
+	case v1.CodeInvalidRequest:
+		return http.StatusBadRequest
+	case v1.CodeInvalidNetlist:
+		return http.StatusUnprocessableEntity
+	case v1.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case v1.CodeNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			v1.ErrorResponse("", v1.CodeInvalidRequest, "POST required"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			v1.ErrorResponse("", v1.CodeInvalidRequest, "request body too large"))
+		return
+	}
+	// A batch is detected by the presence of the "requests" key; anything
+	// else is a single AnalyzeRequest.
+	var probe struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			v1.ErrorResponse("", v1.CodeInvalidRequest, "malformed JSON: "+err.Error()))
+		return
+	}
+	if probe.Requests != nil {
+		s.handleBatch(w, body)
+		return
+	}
+
+	var req v1.AnalyzeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			v1.ErrorResponse("", v1.CodeInvalidRequest, "malformed JSON: "+err.Error()))
+		return
+	}
+	s.mRequests.Inc()
+	b := s.admit([]v1.AnalyzeRequest{req}, false)
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			v1.ErrorResponse(req.ID, v1.CodeOverloaded, "work queue full, retry later"))
+		return
+	}
+	<-b.done
+	resp := b.responses[0]
+	writeJSON(w, httpStatus(resp), resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
+	var breq v1.BatchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			v1.ErrorResponse("", v1.CodeInvalidRequest, "malformed JSON: "+err.Error()))
+		return
+	}
+	if err := v1.Validate(breq.SchemaVersion); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			v1.ErrorResponse(breq.ID, v1.CodeInvalidRequest, err.Error()))
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest,
+			v1.ErrorResponse(breq.ID, v1.CodeInvalidRequest, "empty batch"))
+		return
+	}
+	s.mBatches.Inc()
+	s.mRequests.Add(int64(len(breq.Requests)))
+	if len(breq.Requests) > s.opts.QueueLen {
+		// Larger than the queue will EVER hold: retrying is hopeless, so
+		// this is a client error, not backpressure.
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			v1.ErrorResponse(breq.ID, v1.CodeInvalidRequest,
+				fmt.Sprintf("batch of %d exceeds queue capacity %d; split it",
+					len(breq.Requests), s.opts.QueueLen)))
+		return
+	}
+	b := s.admit(breq.Requests, breq.Async)
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, v1.BatchResponse{
+			SchemaVersion: v1.SchemaVersion,
+			ID:            breq.ID,
+			Status:        v1.StatusError,
+			Total:         len(breq.Requests),
+			Error:         &v1.Error{Code: v1.CodeOverloaded, Message: "work queue full, retry later"},
+		})
+		return
+	}
+	if breq.Async {
+		writeJSON(w, http.StatusAccepted, v1.BatchResponse{
+			SchemaVersion: v1.SchemaVersion,
+			ID:            b.id,
+			Status:        v1.StatusPending,
+			Total:         b.total,
+		})
+		return
+	}
+	<-b.done
+	writeJSON(w, http.StatusOK, batchResponse(b))
+}
+
+// batchResponse renders a COMPLETED batch.
+func batchResponse(b *batch) v1.BatchResponse {
+	resp := v1.BatchResponse{
+		SchemaVersion: v1.SchemaVersion,
+		ID:            b.id,
+		Status:        v1.StatusOK,
+		Completed:     b.total,
+		Total:         b.total,
+		Responses:     b.responses,
+	}
+	for _, r := range b.responses {
+		if r.Status != v1.StatusOK {
+			resp.Status = v1.StatusError
+			break
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			v1.ErrorResponse("", v1.CodeInvalidRequest, "GET required"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/result/")
+	b := s.lookup(id)
+	if b == nil {
+		writeJSON(w, http.StatusNotFound, v1.BatchResponse{
+			SchemaVersion: v1.SchemaVersion,
+			ID:            id,
+			Status:        v1.StatusError,
+			Error:         &v1.Error{Code: v1.CodeNotFound, Message: "unknown or evicted result id"},
+		})
+		return
+	}
+	select {
+	case <-b.done:
+		writeJSON(w, http.StatusOK, batchResponse(b))
+	default:
+		completed, total := b.progress()
+		writeJSON(w, http.StatusAccepted, v1.BatchResponse{
+			SchemaVersion: v1.SchemaVersion,
+			ID:            b.id,
+			Status:        v1.StatusPending,
+			Completed:     completed,
+			Total:         total,
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"qwm/internal/api/v1"
+	"qwm/internal/circuit"
+	"qwm/internal/devmodel"
+	"qwm/internal/faultinject"
+	"qwm/internal/mos"
+	"qwm/internal/netlist"
+	"qwm/internal/obs"
+	"qwm/internal/reduce"
+	"qwm/internal/sta"
+	"qwm/internal/sta/diskcache"
+)
+
+// pool keys shared analyzers by their result signature. Each pooled
+// analyzer owns one in-memory delay cache and (when a cache directory is
+// configured) one disk-tier namespace directory named by the FNV-64a hex of
+// the signature — the full signature is persisted inside by diskcache.Open,
+// so hash collisions are detected, not silently merged.
+type pool struct {
+	tech       *mos.Tech
+	lib        *devmodel.Library
+	cacheDir   string
+	cacheBytes int64
+	metrics    *obs.Registry
+
+	mu        sync.Mutex
+	analyzers map[string]*pooledAnalyzer
+}
+
+type pooledAnalyzer struct {
+	a     *sta.Analyzer
+	store *diskcache.Store // nil without a cache dir
+}
+
+// get returns the pooled analyzer for cfg, creating it (and opening its
+// disk namespace) on first use. cfg must not carry a Tier — the pool owns
+// tier wiring.
+func (p *pool) get(cfg sta.Config) (*pooledAnalyzer, error) {
+	sig := cfg.Signature()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pa, ok := p.analyzers[sig]; ok {
+		return pa, nil
+	}
+	pa := &pooledAnalyzer{}
+	if p.cacheDir != "" {
+		dir := filepath.Join(p.cacheDir, sigDirName(sig))
+		store, err := diskcache.Open(dir, sig, diskcache.Options{
+			MaxBytes: p.cacheBytes,
+			Metrics:  p.metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening disk cache for %q: %w", sig, err)
+		}
+		pa.store = store
+		cfg.Tier = store
+	}
+	cfg.Metrics = p.metrics
+	pa.a = sta.New(p.tech, p.lib, cfg)
+	p.analyzers[sig] = pa
+	return pa, nil
+}
+
+func (p *pool) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, pa := range p.analyzers {
+		if pa.store != nil {
+			pa.store.Flush()
+			if err := pa.store.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	p.analyzers = map[string]*pooledAnalyzer{}
+	return first
+}
+
+// sigDirName maps a signature to a filesystem-safe namespace directory.
+func sigDirName(sig string) string {
+	h := fnv.New64a()
+	h.Write([]byte(sig))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// analyze executes one wire request end to end: validate, parse, route to a
+// pooled (or, for chaos, throwaway) analyzer, convert the result. All
+// failures come back as v1 error envelopes; nothing panics the worker.
+func (s *Server) analyze(req v1.AnalyzeRequest) v1.AnalyzeResponse {
+	if err := v1.Validate(req.SchemaVersion); err != nil {
+		return v1.ErrorResponse(req.ID, v1.CodeInvalidRequest, err.Error())
+	}
+	switch strings.ToLower(req.Tech) {
+	case "", "cmos035":
+	default:
+		return v1.ErrorResponse(req.ID, v1.CodeInvalidRequest,
+			fmt.Sprintf("unknown tech %q (this build serves cmos035)", req.Tech))
+	}
+	if strings.TrimSpace(req.Netlist) == "" {
+		return v1.ErrorResponse(req.ID, v1.CodeInvalidRequest, "empty netlist")
+	}
+	if len(req.Outputs) == 0 {
+		return v1.ErrorResponse(req.ID, v1.CodeInvalidRequest, "no outputs requested")
+	}
+	deck, err := netlist.ParseString(req.Netlist)
+	if err != nil {
+		return v1.ErrorResponse(req.ID, v1.CodeInvalidNetlist, err.Error())
+	}
+
+	cfg := sta.Config{Workers: s.opts.AnalyzerWorkers}
+	if f := req.Features; f != nil {
+		if f.ReduceTolPct > 0 {
+			cfg.Reduction = reduce.Config{Enabled: true, TolPct: f.ReduceTolPct}
+		}
+		cfg.Memo = sta.MemoConfig{Enabled: f.Memo || f.Interp, Interp: f.Interp}
+	}
+	if b := req.Budget; b != nil {
+		cfg.Budget = b.STA()
+	}
+
+	var analyzer *sta.Analyzer
+	if c := req.Chaos; c != nil {
+		// Chaos traffic: fresh analyzer, no pool, no disk tier — injected
+		// faults must never leak into entries production requests share.
+		inj := faultinject.New(c.Seed)
+		rate := c.Rate
+		if rate <= 0 || rate > 1 {
+			rate = 1
+		}
+		for _, name := range c.Classes {
+			class, err := faultinject.ParseClass(name)
+			if err != nil {
+				return v1.ErrorResponse(req.ID, v1.CodeInvalidRequest, err.Error())
+			}
+			inj.Enable(class, rate)
+		}
+		cfg.FaultPlan = inj
+		cfg.Metrics = nil
+		analyzer = sta.New(s.pool.tech, s.pool.lib, cfg)
+	} else {
+		pa, perr := s.pool.get(cfg)
+		if perr != nil {
+			return v1.ErrorResponse(req.ID, v1.CodeAnalysisFailed, perr.Error())
+		}
+		analyzer = pa.a
+	}
+
+	primary := make(map[string]sta.Arrival, len(req.Inputs))
+	for net, ar := range req.Inputs {
+		primary[net] = ar.STA()
+	}
+	outputs := make([]string, len(req.Outputs))
+	for i, o := range req.Outputs {
+		outputs[i] = circuit.CanonName(o)
+	}
+
+	res, err := analyzer.AnalyzeContext(nil, sta.Request{
+		Netlist: deck.Netlist,
+		Primary: primary,
+		Outputs: outputs,
+	})
+	if err != nil {
+		code := v1.CodeAnalysisFailed
+		if errors.Is(err, sta.ErrInvalidNetlist) {
+			code = v1.CodeInvalidNetlist
+		}
+		return v1.ErrorResponse(req.ID, code, err.Error())
+	}
+	return v1.OKResponse(req.ID, v1.FromResult(res, outputs, req.FullArrivals))
+}

@@ -1,0 +1,323 @@
+// Package service is the timing-analysis-as-a-service front door: an
+// HTTP/JSON server speaking the versioned v1 wire schema (internal/api/v1)
+// over the STA engine.
+//
+//	POST /analyze      one AnalyzeRequest, or a BatchRequest ("requests" key);
+//	                   synchronous by default, async batches return 202 + id
+//	GET  /result/{id}  poll an async batch: 202 pending, 200 done, 404 unknown
+//
+// Architecture: requests land in a bounded work queue (admission is
+// all-or-nothing per batch, so a half-admitted batch can never deadlock the
+// queue against itself) drained by a fixed worker pool. When the queue is
+// full the server sheds load with 429 + Retry-After instead of queueing
+// unbounded work — backpressure is the contract, and /healthz degrades while
+// saturated.
+//
+// Analyzers are pooled by result signature (sta.Config.Signature): two
+// requests with equal features and budgets share one analyzer — one
+// in-memory delay cache — and, when a cache directory is configured, one
+// persistent disk namespace keyed by that same signature. Chaos requests
+// (fault injection armed) always run on a fresh throwaway analyzer with no
+// disk tier, so injected faults can never poison shared caches.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qwm/internal/api/v1"
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: 64-slot queue, 2
+// workers, 64 retained async results, no disk cache, no metrics.
+type Options struct {
+	// QueueLen bounds the admission queue (in sub-requests). 0 means 64.
+	QueueLen int
+	// Workers is the number of queue-draining goroutines. Each drains one
+	// analysis at a time; the analyzers parallelize internally. 0 means 2.
+	Workers int
+	// AnalyzerWorkers is passed to every pooled analyzer's Config.Workers
+	// (0 = GOMAXPROCS). It does not affect results or pooling identity.
+	AnalyzerWorkers int
+	// CacheDir, when set, roots the persistent delay-cache tier: every
+	// analyzer signature gets its own namespace directory under it. ""
+	// disables the disk tier.
+	CacheDir string
+	// CacheBytes caps each namespace's disk usage (0 = the diskcache
+	// default, 256 MiB).
+	CacheBytes int64
+	// ResultCap bounds retained async batch results; the oldest are evicted
+	// first (polling an evicted id returns 404). 0 means 64.
+	ResultCap int
+	// Metrics, when set, receives the service counters (service/...), the
+	// engine's per-analyze aggregates and the disk tier's counters.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.ResultCap <= 0 {
+		o.ResultCap = 64
+	}
+	return o
+}
+
+// Server is one service instance. Create with New, serve via Handler, stop
+// with Close.
+type Server struct {
+	opts Options
+	pool *pool
+
+	queue *workQueue
+
+	resMu   sync.Mutex
+	results map[string]*batch
+	order   []string // insertion order, for FIFO eviction
+	nextID  atomic.Int64
+
+	wg sync.WaitGroup
+
+	mRequests, mBatches, mOK, mErr, mShed *obs.Counter
+}
+
+// job is one queued sub-request. Exactly one worker processes it, writes
+// resp, and marks it done on its batch.
+type job struct {
+	req   v1.AnalyzeRequest
+	idx   int
+	batch *batch
+}
+
+// batch tracks one admitted request group (a single request is a batch of
+// one). done closes when every job completed.
+type batch struct {
+	id    string
+	async bool
+	total int
+
+	mu        sync.Mutex
+	responses []v1.AnalyzeResponse
+	completed int
+	done      chan struct{}
+}
+
+func (b *batch) complete(idx int, resp v1.AnalyzeResponse) {
+	b.mu.Lock()
+	b.responses[idx] = resp
+	b.completed++
+	fin := b.completed == b.total
+	b.mu.Unlock()
+	if fin {
+		close(b.done)
+	}
+}
+
+// progress returns (completed, total) without blocking on done.
+func (b *batch) progress() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.completed, b.total
+}
+
+// New builds a service over the given technology and library. tech/lib are
+// shared by every pooled analyzer.
+func New(tech *mos.Tech, lib *devmodel.Library, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		results: map[string]*batch{},
+		queue:   newWorkQueue(opts.QueueLen, opts.Metrics.Gauge("service/queue/depth")),
+		pool: &pool{
+			tech: tech, lib: lib,
+			cacheDir:   opts.CacheDir,
+			cacheBytes: opts.CacheBytes,
+			metrics:    opts.Metrics,
+			analyzers:  map[string]*pooledAnalyzer{},
+		},
+	}
+	r := opts.Metrics
+	s.mRequests = r.Counter("service/requests")
+	s.mBatches = r.Counter("service/batches")
+	s.mOK = r.Counter("service/analyses_ok")
+	s.mErr = r.Counter("service/analyses_err")
+	s.mShed = r.Counter("service/rejected_overload")
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		resp := s.analyze(j.req)
+		if resp.Status == v1.StatusOK {
+			s.mOK.Inc()
+		} else {
+			s.mErr.Inc()
+		}
+		j.batch.complete(j.idx, resp)
+	}
+}
+
+// admit reserves queue slots for every request of a group, all or nothing.
+// It returns the tracking batch, or nil when the queue cannot take the
+// group right now (back off and retry).
+func (s *Server) admit(reqs []v1.AnalyzeRequest, async bool) *batch {
+	b := &batch{
+		id:        fmt.Sprintf("b%06d", s.nextID.Add(1)),
+		async:     async,
+		total:     len(reqs),
+		responses: make([]v1.AnalyzeResponse, len(reqs)),
+		done:      make(chan struct{}),
+	}
+	jobs := make([]*job, len(reqs))
+	for i, r := range reqs {
+		jobs[i] = &job{req: r, idx: i, batch: b}
+	}
+	if !s.queue.tryPush(jobs) {
+		s.mShed.Inc()
+		return nil
+	}
+	if async {
+		s.retain(b)
+	}
+	return b
+}
+
+// retain stores an async batch for /result polling, evicting the oldest
+// stored batch beyond the cap.
+func (s *Server) retain(b *batch) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	s.results[b.id] = b
+	s.order = append(s.order, b.id)
+	for len(s.order) > s.opts.ResultCap {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.results, evict)
+	}
+}
+
+// lookup finds a retained async batch.
+func (s *Server) lookup(id string) *batch {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	return s.results[id]
+}
+
+// Healthy implements the /healthz hook: degraded while the queue is
+// saturated (admission would shed).
+func (s *Server) Healthy() (bool, string) {
+	if s.queue.full() {
+		return false, "work queue saturated"
+	}
+	return true, "ok"
+}
+
+// Close stops the workers (in-flight analyses run to completion), then
+// flushes and closes every pooled disk store. Queued-but-unstarted jobs are
+// completed with an overloaded error so synchronous waiters unblock.
+func (s *Server) Close() error {
+	for _, j := range s.queue.close() {
+		j.batch.complete(j.idx, v1.ErrorResponse(j.req.ID, v1.CodeOverloaded, "server shutting down"))
+	}
+	s.wg.Wait()
+	return s.pool.close()
+}
+
+// workQueue is a bounded MPMC ring with all-or-nothing group admission.
+type workQueue struct {
+	mu     sync.Mutex
+	nempty *sync.Cond
+	buf    []*job
+	head   int
+	n      int
+	closed bool
+	depth  *obs.Gauge
+}
+
+func newWorkQueue(capacity int, depth *obs.Gauge) *workQueue {
+	q := &workQueue{buf: make([]*job, capacity), depth: depth}
+	q.nempty = sync.NewCond(&q.mu)
+	return q
+}
+
+// tryPush admits every job or none: a group larger than the free space is
+// rejected without partial enqueue, so two half-admitted batches can never
+// wedge the queue waiting on each other's remainder.
+func (q *workQueue) tryPush(jobs []*job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.n+len(jobs) > len(q.buf) {
+		return false
+	}
+	for _, j := range jobs {
+		q.buf[(q.head+q.n)%len(q.buf)] = j
+		q.n++
+	}
+	q.depth.Set(int64(q.n))
+	q.nempty.Broadcast()
+	return true
+}
+
+// pop blocks for the next job; ok is false once the queue is closed and
+// drained.
+func (q *workQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.nempty.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	j := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.depth.Set(int64(q.n))
+	return j, true
+}
+
+func (q *workQueue) full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n == len(q.buf)
+}
+
+// close marks the queue closed and returns the jobs that were queued but
+// not yet picked up, so the caller can fail them out.
+func (q *workQueue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var rest []*job
+	for q.n > 0 {
+		rest = append(rest, q.buf[q.head])
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+	}
+	q.depth.Set(0)
+	q.nempty.Broadcast()
+	return rest
+}

@@ -1,0 +1,431 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qwm/internal/api/v1"
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/netlist"
+	"qwm/internal/obs"
+	"qwm/internal/stages"
+)
+
+var (
+	tech = mos.CMOSP35()
+	lib  = devmodel.NewLibrary(tech)
+)
+
+// decoderDeck renders the decoder workload as deck text — the service's
+// wire format for circuits — plus its primary inputs and outputs.
+func decoderDeck(t testing.TB) (string, []string, []string) {
+	t.Helper()
+	nl, ins, outs, err := stages.DecoderNetlist(tech, 2, 1e-6, 10e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netlist.Format(&netlist.Deck{Title: "* decoder", Netlist: nl}), ins, outs
+}
+
+func newTestServer(t testing.TB, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(tech, lib, opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/analyze", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func decodeAnalyze(t testing.TB, b []byte) v1.AnalyzeResponse {
+	t.Helper()
+	var resp v1.AnalyzeResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatalf("undecodable response %s: %v", b, err)
+	}
+	return resp
+}
+
+func TestAnalyzeSingle(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	_, hs := newTestServer(t, Options{})
+
+	hr, body := postJSON(t, hs.URL, v1.AnalyzeRequest{
+		SchemaVersion: v1.SchemaVersion,
+		ID:            "req-1",
+		Netlist:       deck,
+		Outputs:       outs,
+	})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", hr.StatusCode, body)
+	}
+	resp := decodeAnalyze(t, body)
+	if resp.SchemaVersion != v1.SchemaVersion || resp.Status != v1.StatusOK || resp.ID != "req-1" {
+		t.Fatalf("bad envelope: %+v", resp)
+	}
+	if resp.Result == nil || resp.Result.WorstArrival <= 0 || resp.Result.WorstOutput == "" {
+		t.Fatalf("bad result: %+v", resp.Result)
+	}
+	if !resp.Result.Diagnostics.Healthy {
+		t.Fatalf("decoder analysis unhealthy: %+v", resp.Result.Diagnostics)
+	}
+	if len(resp.Result.Outputs) != len(outs) {
+		t.Fatalf("result has %d outputs, want %d", len(resp.Result.Outputs), len(outs))
+	}
+	if resp.Result.StagesEvaluated == 0 {
+		t.Error("cold analysis reported 0 evaluations")
+	}
+
+	// Same request again: pooled analyzer, warm cache.
+	_, body2 := postJSON(t, hs.URL, v1.AnalyzeRequest{Netlist: deck, Outputs: outs})
+	resp2 := decodeAnalyze(t, body2)
+	if resp2.Result.StagesEvaluated != 0 {
+		t.Errorf("warm analysis evaluated %d stages", resp2.Result.StagesEvaluated)
+	}
+	if resp2.Result.WorstArrival != resp.Result.WorstArrival {
+		t.Error("warm analysis changed the answer")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	_, hs := newTestServer(t, Options{})
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"malformed json", "{", http.StatusBadRequest, v1.CodeInvalidRequest},
+		{"empty netlist", `{"netlist":"","outputs":["y"]}`, http.StatusBadRequest, v1.CodeInvalidRequest},
+		{"no outputs", `{"netlist":"* t\n.end\n"}`, http.StatusBadRequest, v1.CodeInvalidRequest},
+		{"bad schema version", `{"schema_version":"qwm.v9","netlist":"x","outputs":["y"]}`,
+			http.StatusBadRequest, v1.CodeInvalidRequest},
+		{"bad tech", fmt.Sprintf(`{"tech":"finfet7","netlist":%q,"outputs":["y"]}`, deck),
+			http.StatusBadRequest, v1.CodeInvalidRequest},
+		{"unparseable deck", `{"netlist":"* t\nMBAD\n.end\n","outputs":["y"]}`,
+			http.StatusUnprocessableEntity, v1.CodeInvalidNetlist},
+		{"undriven output", fmt.Sprintf(`{"netlist":%q,"outputs":["nosuchnet"]}`, deck),
+			http.StatusInternalServerError, v1.CodeAnalysisFailed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hr, err := http.Post(hs.URL+"/analyze", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(hr.Body)
+			hr.Body.Close()
+			if hr.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (body %s)", hr.StatusCode, tc.status, buf.String())
+			}
+			resp := decodeAnalyze(t, buf.Bytes())
+			if resp.Status != v1.StatusError || resp.Error == nil || resp.Error.Code != tc.code {
+				t.Fatalf("error envelope %+v, want code %s", resp, tc.code)
+			}
+			_ = outs
+		})
+	}
+}
+
+// TestBackpressure429 saturates the queue of a server with NO workers (so
+// admitted jobs never drain) and asserts load shedding: 429, Retry-After,
+// overloaded code, degraded health. Deterministic by construction.
+func TestBackpressure429(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	reg := obs.NewRegistry()
+	s := &Server{
+		opts:    Options{QueueLen: 2, ResultCap: 4}.withDefaults(),
+		results: map[string]*batch{},
+		queue:   newWorkQueue(2, reg.Gauge("service/queue/depth")),
+		pool:    &pool{tech: tech, lib: lib, analyzers: map[string]*pooledAnalyzer{}},
+		mShed:   reg.Counter("service/rejected_overload"),
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.queue.close()
+
+	// Fill both slots with an async batch (returns 202 immediately; the
+	// jobs sit in the queue forever with no workers).
+	hr, body := postJSON(t, hs.URL, v1.BatchRequest{
+		Async: true,
+		Requests: []v1.AnalyzeRequest{
+			{Netlist: deck, Outputs: outs},
+			{Netlist: deck, Outputs: outs},
+		},
+	})
+	if hr.StatusCode != http.StatusAccepted {
+		t.Fatalf("async admit: status %d, body %s", hr.StatusCode, body)
+	}
+	if ok, _ := s.Healthy(); ok {
+		t.Error("saturated queue must report degraded health")
+	}
+	if d := reg.Snapshot().Gauges["service/queue/depth"]; d != 2 {
+		t.Errorf("queue depth gauge = %d, want 2", d)
+	}
+
+	// Next single request must shed.
+	hr2, body2 := postJSON(t, hs.URL, v1.AnalyzeRequest{ID: "shed-me", Netlist: deck, Outputs: outs})
+	if hr2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("flooded queue: status %d, body %s", hr2.StatusCode, body2)
+	}
+	if hr2.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	resp := decodeAnalyze(t, body2)
+	if resp.Error == nil || resp.Error.Code != v1.CodeOverloaded || resp.ID != "shed-me" {
+		t.Fatalf("shed envelope %+v", resp)
+	}
+
+	// A batch that can't fully fit is rejected whole (all-or-nothing) even
+	// when one slot would free: nothing is half-admitted.
+	if got := s.queue.tryPush([]*job{{}, {}, {}}); got {
+		t.Error("oversized group admitted")
+	}
+	if reg.Snapshot().Counters["service/rejected_overload"] == 0 {
+		t.Error("shed not counted")
+	}
+}
+
+func TestAsyncBatchLifecycle(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	_, hs := newTestServer(t, Options{Workers: 2})
+
+	hr, body := postJSON(t, hs.URL, v1.BatchRequest{
+		SchemaVersion: v1.SchemaVersion,
+		Async:         true,
+		Requests: []v1.AnalyzeRequest{
+			{ID: "a", Netlist: deck, Outputs: outs},
+			{ID: "b", Netlist: deck, Outputs: outs[:1]},
+		},
+	})
+	if hr.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, body %s", hr.StatusCode, body)
+	}
+	var acc v1.BatchResponse
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Status != v1.StatusPending || acc.ID == "" || acc.Total != 2 {
+		t.Fatalf("bad 202 envelope: %+v", acc)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var final v1.BatchResponse
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never completed")
+		}
+		hr, err := http.Get(hs.URL + "/result/" + acc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode == http.StatusAccepted {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d, body %s", hr.StatusCode, buf.String())
+		}
+		if err := json.Unmarshal(buf.Bytes(), &final); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if final.Status != v1.StatusOK || final.Completed != 2 || len(final.Responses) != 2 {
+		t.Fatalf("final batch: %+v", final)
+	}
+	if final.Responses[0].ID != "a" || final.Responses[1].ID != "b" {
+		t.Error("batch responses out of submission order")
+	}
+	for i, r := range final.Responses {
+		if r.Status != v1.StatusOK || r.Result == nil {
+			t.Fatalf("slot %d: %+v", i, r)
+		}
+	}
+
+	// Unknown id → 404 with the not_found code.
+	hr404, err := http.Get(hs.URL + "/result/b999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr404.Body.Close()
+	if hr404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", hr404.StatusCode)
+	}
+}
+
+func TestSyncBatchPartialFailure(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	_, hs := newTestServer(t, Options{})
+	hr, body := postJSON(t, hs.URL, v1.BatchRequest{
+		Requests: []v1.AnalyzeRequest{
+			{Netlist: deck, Outputs: outs},
+			{Netlist: "* broken\nMBAD\n.end\n", Outputs: []string{"y"}},
+		},
+	})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", hr.StatusCode, body)
+	}
+	var resp v1.BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != v1.StatusError {
+		t.Errorf("batch with a failed slot must report error status, got %q", resp.Status)
+	}
+	if resp.Responses[0].Status != v1.StatusOK || resp.Responses[1].Status != v1.StatusError {
+		t.Fatalf("per-slot verdicts wrong: %+v", resp.Responses)
+	}
+}
+
+// TestChaosDeterministicAndIsolated: identical chaos requests produce
+// byte-identical responses, and chaos never poisons the pooled analyzers
+// production requests share.
+func TestChaosDeterministicAndIsolated(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	_, hs := newTestServer(t, Options{})
+
+	clean := func() v1.AnalyzeResponse {
+		_, b := postJSON(t, hs.URL, v1.AnalyzeRequest{Netlist: deck, Outputs: outs})
+		return decodeAnalyze(t, b)
+	}
+	ref := clean()
+	if !ref.Result.Diagnostics.Healthy {
+		t.Fatalf("clean baseline unhealthy: %+v", ref.Result.Diagnostics)
+	}
+
+	chaosReq := v1.AnalyzeRequest{
+		Netlist: deck, Outputs: outs,
+		Budget: &v1.Budget{NRIters: 1},
+		Chaos:  &v1.Chaos{Seed: 42, Classes: []string{"budget-exhaustion"}},
+	}
+	_, b1 := postJSON(t, hs.URL, chaosReq)
+	_, b2 := postJSON(t, hs.URL, chaosReq)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("chaos responses differ across identical requests:\n%s\n%s", b1, b2)
+	}
+	cr := decodeAnalyze(t, b1)
+	if cr.Status != v1.StatusOK {
+		t.Fatalf("chaos run failed outright: %s", b1)
+	}
+	if cr.Result.Diagnostics.Healthy {
+		t.Error("budget-exhaustion chaos at rate 1 reported healthy")
+	}
+
+	// The pooled production analyzer must be untouched by the chaos runs.
+	after := clean()
+	if !after.Result.Diagnostics.Healthy {
+		t.Errorf("chaos leaked into the production pool: %+v", after.Result.Diagnostics)
+	}
+	if after.Result.WorstArrival != ref.Result.WorstArrival {
+		t.Error("clean answer changed after chaos traffic")
+	}
+}
+
+// TestWarmDiskRestartBitIdentical is the service-level restart guarantee:
+// a new server process over the same cache directory answers bit-identically
+// with zero evaluations and a ≥90 % disk hit rate.
+func TestWarmDiskRestartBitIdentical(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	dir := t.TempDir()
+	req := v1.AnalyzeRequest{Netlist: deck, Outputs: outs}
+
+	s1 := New(tech, lib, Options{CacheDir: dir})
+	hs1 := httptest.NewServer(s1.Handler())
+	_, cold := postJSON(t, hs1.URL, req)
+	_, warmMem := postJSON(t, hs1.URL, req)
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if decodeAnalyze(t, cold).Result.StagesEvaluated == 0 {
+		t.Fatal("cold run reported no evaluations — disk can't have been exercised")
+	}
+
+	reg := obs.NewRegistry()
+	s2 := New(tech, lib, Options{CacheDir: dir, Metrics: reg})
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	defer s2.Close()
+	_, warmDisk := postJSON(t, hs2.URL, req)
+
+	if !bytes.Equal(warmMem, warmDisk) {
+		t.Errorf("warm-disk response differs from warm-memory:\nmem:  %s\ndisk: %s", warmMem, warmDisk)
+	}
+	if got := decodeAnalyze(t, warmDisk).Result.StagesEvaluated; got != 0 {
+		t.Errorf("warm-disk run evaluated %d stages", got)
+	}
+	snap := reg.Snapshot()
+	hits, misses := snap.Counters["sta/disk/hits"], snap.Counters["sta/disk/misses"]
+	if total := hits + misses; total == 0 || float64(hits)/float64(total) < 0.9 {
+		t.Errorf("disk hit rate %d/%d after restart, want >= 90%%", hits, total)
+	}
+}
+
+// BenchmarkServiceWarmDisk measures the full service path — HTTP decode,
+// queue, disk-tier hydration, HTTP encode — for a restarted replica over a
+// warm cache directory (a fresh Server per iteration, so the in-memory
+// cache never warms).
+func BenchmarkServiceWarmDisk(b *testing.B) {
+	deck, _, outs := decoderDeck(b)
+	dir := b.TempDir()
+	body, err := json.Marshal(v1.AnalyzeRequest{Netlist: deck, Outputs: outs})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	warm := New(tech, lib, Options{CacheDir: dir})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body))
+	warm.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup failed: %d %s", rec.Code, rec.Body)
+	}
+	warm.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(tech, lib, Options{CacheDir: dir})
+		h := s.Handler()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("iteration failed: %d %s", rec.Code, rec.Body)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,406 @@
+package diskcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"qwm/internal/devmodel"
+	"qwm/internal/mos"
+	"qwm/internal/obs"
+	"qwm/internal/sta"
+	"qwm/internal/stages"
+)
+
+func testEntry(i int) sta.TierEntry {
+	return sta.TierEntry{
+		Delay:   float64(i) * 1.25e-12,
+		Slew:    float64(i) * 3e-13,
+		OK:      true,
+		Tier:    0,
+		NRIters: int32(i),
+		Regions: int32(i % 7),
+	}
+}
+
+func mustOpen(t *testing.T, dir, sig string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, sig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "sigA", Options{})
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("key-%03d", i), testEntry(i))
+	}
+	s.Flush()
+	for i := 0; i < n; i++ {
+		e, ok := s.Get(fmt.Sprintf("key-%03d", i))
+		if !ok {
+			t.Fatalf("key-%03d missing before restart", i)
+		}
+		if e != testEntry(i) {
+			t.Fatalf("key-%03d: got %+v want %+v", i, e, testEntry(i))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh Store over the same directory serves every entry.
+	s2 := mustOpen(t, dir, "sigA", Options{})
+	for i := 0; i < n; i++ {
+		e, ok := s2.Get(fmt.Sprintf("key-%03d", i))
+		if !ok {
+			t.Fatalf("key-%03d lost across restart", i)
+		}
+		if e != testEntry(i) {
+			t.Fatalf("key-%03d after restart: got %+v want %+v", i, e, testEntry(i))
+		}
+	}
+	st := s2.Stats()
+	if st.Entries != n || st.Corrupt != 0 {
+		t.Fatalf("restart stats: %+v", st)
+	}
+}
+
+func TestLatestWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "s", Options{})
+	s.Put("k", testEntry(1))
+	s.Put("k", testEntry(2))
+	s.Flush()
+	if e, _ := s.Get("k"); e != testEntry(2) {
+		t.Fatalf("live store served %+v, want the later write", e)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, "s", Options{})
+	if e, ok := s2.Get("k"); !ok || e != testEntry(2) {
+		t.Fatalf("reopened store served %+v (ok=%v), want the later write", e, ok)
+	}
+}
+
+func TestSignatureMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "config-one", Options{})
+	s.Close()
+	if _, err := Open(dir, "config-two", Options{}); err == nil {
+		t.Fatal("reopening under a different signature must fail")
+	}
+	// Same signature still fine.
+	s2 := mustOpen(t, dir, "config-one", Options{})
+	s2.Close()
+}
+
+// TestKillMidWrite simulates a crash that tears the last record: the torn
+// tail must be truncated away on reopen and every record before it served.
+func TestKillMidWrite(t *testing.T) {
+	for _, cut := range []int{1, 5, 11, 13} { // inside header, inside key, inside value
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, "s", Options{})
+			for i := 0; i < 10; i++ {
+				s.Put(fmt.Sprintf("key-%d", i), testEntry(i))
+			}
+			s.Flush()
+			s.Close()
+
+			seg := filepath.Join(dir, fmt.Sprintf(segPattern, 0))
+			full, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := encodeRecord("torn-key", encodeEntry(testEntry(99)))
+			if cut >= len(rec) {
+				t.Fatalf("cut %d outside record of %d bytes", cut, len(rec))
+			}
+			// Crash mid-append: only the first cut bytes of the record land.
+			if err := os.WriteFile(seg, append(full, rec[:cut]...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := mustOpen(t, dir, "s", Options{})
+			if _, ok := s2.Get("torn-key"); ok {
+				t.Fatal("torn record must not be served")
+			}
+			for i := 0; i < 10; i++ {
+				if e, ok := s2.Get(fmt.Sprintf("key-%d", i)); !ok || e != testEntry(i) {
+					t.Fatalf("key-%d lost or changed after torn-tail recovery (ok=%v)", i, ok)
+				}
+			}
+			// The tail was truncated: appends after recovery must land cleanly.
+			s2.Put("after", testEntry(50))
+			s2.Flush()
+			s2.Close()
+			s3 := mustOpen(t, dir, "s", Options{})
+			if e, ok := s3.Get("after"); !ok || e != testEntry(50) {
+				t.Fatal("append after recovery did not survive a second restart")
+			}
+		})
+	}
+}
+
+// TestCorruptEntryIsMiss flips one byte inside a committed record's value:
+// the Get must miss, count sta/disk/corrupt, and never return wrong data.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := mustOpen(t, dir, "s", Options{Metrics: reg})
+	s.Put("victim", testEntry(3))
+	s.Put("bystander", testEntry(4))
+	s.Flush()
+	s.Close()
+
+	seg := filepath.Join(dir, fmt.Sprintf(segPattern, 0))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim record is first after the magic; flip a byte well inside
+	// its value region (past header+key).
+	off := len(segMagic) + recHeader + len("victim") + 14
+	b[off] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := obs.NewRegistry()
+	s2, err := Open(dir, "s", Options{Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Open-time scan stops at the corrupt record: the victim is unindexed
+	// (miss) and the corruption is counted.
+	if _, ok := s2.Get("victim"); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+	if got := reg2.Snapshot().Counters["sta/disk/corrupt"]; got == 0 {
+		t.Error("corruption not counted on sta/disk/corrupt")
+	}
+	if s2.Stats().Corrupt == 0 {
+		t.Error("corruption not counted in Stats")
+	}
+}
+
+// TestCorruptionAfterIndexIsMiss corrupts a record AFTER the index was
+// built (bit rot under a live store): the per-Get CRC re-verification must
+// catch it.
+func TestCorruptionAfterIndexIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "s", Options{})
+	s.Put("k", testEntry(7))
+	s.Flush()
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("sanity: entry must hit before corruption")
+	}
+	// Rot the value in place while the store is live and the index warm.
+	seg := filepath.Join(dir, fmt.Sprintf(segPattern, 0))
+	f, err := os.OpenFile(seg, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(segMagic) + recHeader + len("k") + 14)
+	var one [1]byte
+	if _, err := f.ReadAt(one[:], off); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0xFF
+	if _, err := f.WriteAt(one[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("re-verification missed in-place corruption")
+	}
+	if s.Stats().Corrupt == 0 {
+		t.Error("in-place corruption not counted")
+	}
+}
+
+// TestGCBoundsSizeAndServesReaders drives enough writes through a tiny
+// store to force segment GC while hammering Get from parallel readers:
+// the size cap must hold, and every hit must return exactly what was put.
+func TestGCBoundsSizeAndServesReaders(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "s", Options{
+		SegmentBytes: 4 << 10,
+		MaxBytes:     16 << 10,
+		QueueLen:     1 << 14,
+	})
+	const n = 1000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i = (i + 17) % n {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("key-%04d", i)
+				if e, ok := s.Get(key); ok && e != testEntry(i) {
+					t.Errorf("reader %d: %s returned %+v, want %+v", r, key, e, testEntry(i))
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("key-%04d", i), testEntry(i))
+	}
+	s.Flush()
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Bytes > 24<<10 { // cap + one active segment of slack
+		t.Errorf("GC failed to bound size: %d bytes on disk", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("expected evictions, stats %+v", st)
+	}
+	// Recent keys must still be present; evicted old keys must miss cleanly.
+	hits := 0
+	for i := 0; i < n; i++ {
+		if e, ok := s.Get(fmt.Sprintf("key-%04d", i)); ok {
+			hits++
+			if e != testEntry(i) {
+				t.Fatalf("key-%04d corrupted by GC", i)
+			}
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Errorf("after GC: %d/%d hits — expected a strict subset", hits, n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart over the GC'd directory: still consistent.
+	s2 := mustOpen(t, dir, "s", Options{})
+	for i := n - 50; i < n; i++ {
+		if e, ok := s2.Get(fmt.Sprintf("key-%04d", i)); ok && e != testEntry(i) {
+			t.Fatalf("key-%04d corrupted after GC+restart", i)
+		}
+	}
+}
+
+func TestQueueOverflowDropsNotBlocks(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "s", Options{QueueLen: 4})
+	// Far more puts than the queue holds; Put must never block.
+	for i := 0; i < 10000; i++ {
+		s.Put(fmt.Sprintf("k%d", i), testEntry(i))
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Puts+st.Dropped < 10000 {
+		t.Fatalf("puts %d + dropped %d < 10000", st.Puts, st.Dropped)
+	}
+}
+
+func TestNilStoreIsNoop(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	s.Put("k", testEntry(1))
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+}
+
+// TestWarmDiskMatchesWarmMemory is the end-to-end durability guarantee: an
+// analyzer rehydrated purely from disk must produce bit-for-bit the results
+// a warm in-memory analyzer does — arrivals, critical path, diagnostics —
+// with zero solver evaluations and ≥90 % disk hit rate.
+func TestWarmDiskMatchesWarmMemory(t *testing.T) {
+	tech := mos.CMOSP35()
+	lib := devmodel.NewLibrary(tech)
+	nl, ins, outs, err := stages.DecoderNetlist(tech, 3, 1e-6, 10e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := map[string]sta.Arrival{}
+	for _, in := range ins {
+		primary[in] = sta.Arrival{}
+	}
+	req := sta.Request{Netlist: nl, Primary: primary, Outputs: outs}
+	cfg := sta.Config{Workers: 2}
+	dir := t.TempDir()
+
+	// Cold run populates the disk tier.
+	s1, err := Open(dir, cfg.Signature(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tier = s1
+	cold := sta.New(tech, lib, cfg)
+	ref, err := cold.AnalyzeContext(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-memory reference: same analyzer, second run.
+	warmMem, err := cold.AnalyzeContext(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmMem.StagesEvaluated != 0 {
+		t.Fatalf("warm-memory run evaluated %d stages", warmMem.StagesEvaluated)
+	}
+	s1.Flush()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh store over the same dir, fresh analyzer.
+	s2, err := Open(dir, cfg.Signature(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	cfg.Tier = s2
+	fresh := sta.New(tech, lib, cfg)
+	warmDisk, err := fresh.AnalyzeContext(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmDisk.StagesEvaluated != 0 {
+		t.Errorf("warm-disk run evaluated %d stages, want 0", warmDisk.StagesEvaluated)
+	}
+	if !reflect.DeepEqual(warmMem.Arrivals, warmDisk.Arrivals) {
+		t.Errorf("warm-disk arrivals diverged from warm-memory\nmem:  %v\ndisk: %v",
+			warmMem.Arrivals, warmDisk.Arrivals)
+	}
+	if !reflect.DeepEqual(warmMem.CriticalPath, warmDisk.CriticalPath) ||
+		warmMem.WorstArrival != warmDisk.WorstArrival || warmMem.WorstOutput != warmDisk.WorstOutput {
+		t.Error("warm-disk summary diverged from warm-memory")
+	}
+	if !reflect.DeepEqual(warmMem.Diagnostics, warmDisk.Diagnostics) {
+		t.Errorf("warm-disk diagnostics diverged\nmem:  %+v\ndisk: %+v",
+			warmMem.Diagnostics, warmDisk.Diagnostics)
+	}
+	_ = ref
+	if hr := s2.Stats().HitRate(); hr < 0.9 {
+		t.Errorf("disk hit rate %.2f after restart, want >= 0.90 (stats %+v)", hr, s2.Stats())
+	}
+}

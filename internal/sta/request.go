@@ -138,13 +138,25 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	}
 
 	// Per-request evaluation environment: the budget and fault injector the
-	// worker-side degradation ladder reads. Shared read-only by all workers.
+	// worker-side degradation ladder reads, falling back to the analyzer's
+	// configured defaults (Config.Budget / Config.FaultPlan) when the
+	// request carries none. Shared read-only by all workers.
 	env := &evalEnv{budget: req.Budget, fault: req.Fault}
+	if env.budget == (EvalBudget{}) {
+		env.budget = a.Budget
+	}
+	if env.fault == nil {
+		env.fault = a.Fault
+	}
 
 	// Observation plumbing: rec is nil unless an observer or a metrics
 	// registry is attached, and every instrumentation site below is gated
 	// on that one pointer — the unobserved path does no extra work.
-	rec := a.newRecorder(req.Observer)
+	observer := req.Observer
+	if observer == nil {
+		observer = a.Observer
+	}
+	rec := a.newRecorder(observer)
 	if rec != nil {
 		totalItems := 0
 		for _, st := range stages {
@@ -161,7 +173,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	}
 
 	res = &Result{Arrivals: map[string]Arrival{}}
-	missStart := a.cache.misses.Load()
+	evalStart := a.cache.evals.Load()
 	// Key-derivation context: the reduction signature suffixes every content
 	// key (reduced and unreduced evaluations must never alias), and Memo
 	// mode tracks the distinct structural classes seen this Analyze (the
@@ -320,7 +332,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	}
 	res.WorstArrival = worst
 	res.WorstOutput = worstNet
-	res.StagesEvaluated = int(a.cache.misses.Load() - missStart)
+	res.StagesEvaluated = int(a.cache.evals.Load() - evalStart)
 	// Trace the critical path back through alternating directions.
 	net, dir := worstNet, worstDir
 	for net != "" {

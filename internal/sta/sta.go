@@ -85,6 +85,21 @@ type Analyzer struct {
 	// histograms. Nil disables metric recording entirely — the engine then
 	// never reads the clock on the evaluation path.
 	Metrics *obs.Registry
+	// Budget is the analyzer-level default evaluation budget, applied to
+	// requests whose own Budget is zero (see Config.Budget).
+	Budget EvalBudget
+	// Fault is the analyzer-level default fault injector for requests that
+	// carry none (chaos rigs only; see Config.FaultPlan).
+	Fault *faultinject.Injector
+	// Observer is the analyzer-level default span observer for requests
+	// that carry none (see Config.Observer).
+	Observer obs.Observer
+	// Tier, when set, is the persistent cache tier below the in-memory
+	// delay cache (see TierStore): single-flight leaders consult it before
+	// evaluating and write fresh evaluations back. Entries loaded from the
+	// tier count as cache activity but not as evaluations, so a warm-disk
+	// Analyze reports StagesEvaluated = 0 exactly like a warm-memory one.
+	Tier TierStore
 
 	cacheOnce sync.Once
 	cache     *delayCache
@@ -109,9 +124,29 @@ type Analyzer struct {
 	ecoPrev *ecoMemo
 }
 
-// New creates an analyzer with a fresh delay cache.
-func New(tech *mos.Tech, lib *devmodel.Library) *Analyzer {
+// New creates an analyzer with a fresh delay cache. An optional Config fixes
+// the analyzer's full configuration at construction (at most one may be
+// passed; extras are a programming error and panic). The two-argument form
+// is the historical constructor and yields the zero (baseline) Config;
+// callers that used to construct-then-assign exported fields should migrate
+// to passing a Config so the analyzer's Signature is stable for its lifetime.
+func New(tech *mos.Tech, lib *devmodel.Library, cfg ...Config) *Analyzer {
 	a := &Analyzer{Tech: tech, Lib: lib}
+	switch len(cfg) {
+	case 0:
+	case 1:
+		c := cfg[0]
+		a.Workers = c.Workers
+		a.Reduction = c.Reduction
+		a.Memo = c.Memo
+		a.Budget = c.Budget
+		a.Fault = c.FaultPlan
+		a.Observer = c.Observer
+		a.Metrics = c.Metrics
+		a.Tier = c.Tier
+	default:
+		panic("sta: New accepts at most one Config")
+	}
 	a.ensureCache()
 	return a
 }
@@ -252,8 +287,10 @@ type Result struct {
 	WorstArrival float64
 	WorstOutput  string
 	// StagesEvaluated counts QWM evaluations performed during this call
-	// (cache misses; one per stage output, direction, slew bucket and load
-	// digest). The incremental path keeps this small, and it is identical
+	// (one per solver run; at most one per stage output, direction, slew
+	// bucket and load digest). In-memory cache hits AND persistent-tier
+	// hits do not count, so a fully warm run — memory- or disk-warm —
+	// reports 0. The incremental path keeps this small, and it is identical
 	// for serial and parallel runs thanks to the cache's single-flight
 	// discipline.
 	StagesEvaluated int
@@ -333,6 +370,11 @@ type stageInputs struct {
 //
 // Analyze is the legacy entry point, kept as a thin wrapper over
 // AnalyzeContext with a background context and no observer.
+//
+// Deprecated: use AnalyzeContext with a Request — it carries cancellation,
+// per-request budgets, observers, fault plans and the incremental (ECO)
+// mode, none of which this signature can express. Analyze remains only for
+// source compatibility and will not grow new capabilities.
 func (a *Analyzer) Analyze(n *circuit.Netlist, primary map[string]Arrival, outputs []string) (*Result, error) {
 	return a.AnalyzeContext(context.Background(), Request{Netlist: n, Primary: primary, Outputs: outputs})
 }
@@ -508,7 +550,9 @@ func (it *workItem) appendKey(base, sep string, bucket int) []byte {
 
 // lookupOrEval resolves one cache key, computing the direction timing through
 // the degradation ladder when this caller wins the single-flight race. The
-// second return is true when THIS caller performed the compute (a miss).
+// second return is true when THIS caller performed the compute (an
+// evaluation — a persistent-tier hit hydrates the in-memory entry without
+// computing, and followers then see an ordinary hit).
 func (a *Analyzer) lookupOrEval(key []byte, it *workItem, env *evalEnv, inSlew float64) (dirTiming, bool) {
 	e, leader := a.cache.acquire(key)
 	if !leader {
@@ -516,6 +560,17 @@ func (a *Analyzer) lookupOrEval(key []byte, it *workItem, env *evalEnv, inSlew f
 		return e.val, false
 	}
 	ks := string(key)
+	// Persistent tier read-through: the single-flight leader consults the
+	// tier below before paying an evaluation. A hit hydrates the in-memory
+	// entry — every close(e.ready) path below runs exactly once, so a
+	// cancelled or corrupt store can never strand followers.
+	if a.Tier != nil {
+		if te, ok := a.Tier.Get(ks); ok && te.Valid() {
+			e.val = te.timing()
+			close(e.ready)
+			return e.val, false
+		}
+	}
 	a.cache.evals.Add(1)
 	// Fault site: a brief sleep inside the single-flight compute, simulating
 	// shard contention or a slow leader; results must be bit-for-bit
@@ -527,6 +582,10 @@ func (a *Analyzer) lookupOrEval(key []byte, it *workItem, env *evalEnv, inSlew f
 	// come back degraded-but-complete.
 	e.val = a.evalLadder(env, it.st, it.out, it.rail, it.ev.loads, inSlew, ks)
 	close(e.ready)
+	// Write-behind AFTER ready is closed: followers never wait on the store.
+	if a.Tier != nil {
+		a.Tier.Put(ks, tierEntryOf(e.val))
+	}
 	return e.val, true
 }
 

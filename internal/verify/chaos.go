@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 
+	"qwm/internal/api/v1"
 	"qwm/internal/devmodel"
 	"qwm/internal/faultinject"
 	"qwm/internal/mos"
@@ -65,10 +66,11 @@ type ChaosCell struct {
 
 // ChaosReport aggregates a chaos sweep.
 type ChaosReport struct {
-	Seed    int64       `json:"seed"`
-	Rate    float64     `json:"rate"`
-	Workers int         `json:"workers"`
-	Cells   []ChaosCell `json:"cells"`
+	SchemaVersion string      `json:"schema_version"`
+	Seed          int64       `json:"seed"`
+	Rate          float64     `json:"rate"`
+	Workers       int         `json:"workers"`
+	Cells         []ChaosCell `json:"cells"`
 	// Failures counts cells with problems; Pass is Failures == 0.
 	Failures int  `json:"failures"`
 	Pass     bool `json:"pass"`
@@ -86,8 +88,7 @@ const conservativeEps = 1e-12
 // returns the result plus the injector (for fire counts). The analyzer is
 // fresh per run so faulted cache entries never leak between experiments.
 func chaosRun(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int, inj *faultinject.Injector) (*sta.Result, *faultinject.Injector, error) {
-	a := sta.New(tech, lib)
-	a.Workers = workers
+	a := sta.New(tech, lib, sta.Config{Workers: workers})
 	res, err := a.AnalyzeContext(nil, sta.Request{
 		Netlist: c.Netlist, Primary: c.Primary, Outputs: c.Outputs, Fault: inj,
 	})
@@ -222,7 +223,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	tech := mos.CMOSP35()
 	lib := devmodel.NewLibrary(tech)
 	r := rand.New(rand.NewSource(cfg.Seed))
-	rep := &ChaosReport{Seed: cfg.Seed, Rate: cfg.Rate, Workers: cfg.Workers}
+	rep := &ChaosReport{SchemaVersion: v1.SchemaVersion, Seed: cfg.Seed, Rate: cfg.Rate, Workers: cfg.Workers}
 	for i := 0; i < cfg.N; i++ {
 		c := GenAnalyzeCase(tech, r, i)
 		for class := faultinject.Class(0); class < faultinject.NumClasses; class++ {

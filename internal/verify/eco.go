@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"qwm/internal/api/v1"
 	"qwm/internal/circuit"
 	"qwm/internal/devmodel"
 	"qwm/internal/faultinject"
@@ -82,11 +83,12 @@ type ECOSequence struct {
 
 // ECOReport aggregates an ECO sweep.
 type ECOReport struct {
-	Seed      int64         `json:"seed"`
-	Workers   int           `json:"workers"`
-	Sequences []ECOSequence `json:"sequences"`
-	Failures  int           `json:"failures"`
-	Pass      bool          `json:"pass"`
+	SchemaVersion string        `json:"schema_version"`
+	Seed          int64         `json:"seed"`
+	Workers       int           `json:"workers"`
+	Sequences     []ECOSequence `json:"sequences"`
+	Failures      int           `json:"failures"`
+	Pass          bool          `json:"pass"`
 }
 
 // JSON renders the report.
@@ -345,7 +347,7 @@ func RunECO(cfg ECOConfig) (*ECOReport, error) {
 	cfg = cfg.withDefaults()
 	tech := mos.CMOSP35()
 	lib := devmodel.NewLibrary(tech)
-	rep := &ECOReport{Seed: cfg.Seed, Workers: cfg.Workers}
+	rep := &ECOReport{SchemaVersion: v1.SchemaVersion, Seed: cfg.Seed, Workers: cfg.Workers}
 	for _, workload := range []string{"decoder", "wide"} {
 		for _, v := range ecoVariants() {
 			seq := runECOSequence(tech, lib, workload, v, cfg)

@@ -97,12 +97,8 @@ type HotPathDiff struct {
 // configuration and worker count.
 func analyzeHot(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int,
 	red reduce.Config, memo sta.MemoConfig, metrics *obs.Registry) (*sta.Analyzer, *sta.Result, error) {
-	a := sta.New(tech, lib)
-	a.Workers = workers
-	a.Metrics = metrics
-	a.Reduction = red
-	a.Memo = memo
-	res, err := a.Analyze(c.Netlist, c.Primary, c.Outputs)
+	a := sta.New(tech, lib, sta.Config{Workers: workers, Metrics: metrics, Reduction: red, Memo: memo})
+	res, err := a.AnalyzeContext(nil, sta.Request{Netlist: c.Netlist, Primary: c.Primary, Outputs: c.Outputs})
 	return a, res, err
 }
 
@@ -194,17 +190,13 @@ func RunHotPathDiffObserved(tech *mos.Tech, lib *devmodel.Library, c *HotPathCas
 	// features-on analyzer; Heavy must match a fresh features-on analyzer
 	// bit for bit (the loads are part of the fingerprint, so Heavy's classes
 	// can never resolve to Light's entries) and must differ from Light.
-	shared := sta.New(tech, lib)
-	shared.Workers = workers
-	shared.Metrics = metrics
-	shared.Reduction = onCfg
-	shared.Memo = onMemo
-	lightRes, err := shared.Analyze(c.Light.Netlist, c.Light.Primary, c.Light.Outputs)
+	shared := sta.New(tech, lib, sta.Config{Workers: workers, Metrics: metrics, Reduction: onCfg, Memo: onMemo})
+	lightRes, err := shared.AnalyzeContext(nil, sta.Request{Netlist: c.Light.Netlist, Primary: c.Light.Primary, Outputs: c.Light.Outputs})
 	if err != nil {
 		d.Err = "shared light: " + err.Error()
 		return d
 	}
-	heavyShared, err := shared.Analyze(c.Heavy.Netlist, c.Heavy.Primary, c.Heavy.Outputs)
+	heavyShared, err := shared.AnalyzeContext(nil, sta.Request{Netlist: c.Heavy.Netlist, Primary: c.Heavy.Primary, Outputs: c.Heavy.Outputs})
 	if err != nil {
 		d.Err = "shared heavy: " + err.Error()
 		return d

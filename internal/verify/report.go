@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"qwm/internal/api/v1"
 	"qwm/internal/obs"
 )
 
@@ -65,14 +66,15 @@ type Summary struct {
 
 // Report is the full JSON artifact of one differential-verification run.
 type Report struct {
-	Seed    int64         `json:"seed"`
-	N       int           `json:"n"`
-	TolPct  float64       `json:"tol_pct"`
-	Stage   []StageDiff   `json:"stage_cases"`
-	Analyze []AnalyzeDiff `json:"analyze_cases"`
-	Sibling []AnalyzeDiff `json:"sibling_pairs"`
-	HotPath []HotPathDiff `json:"hotpath_cases,omitempty"`
-	Summary Summary       `json:"summary"`
+	SchemaVersion string        `json:"schema_version"`
+	Seed          int64         `json:"seed"`
+	N             int           `json:"n"`
+	TolPct        float64       `json:"tol_pct"`
+	Stage         []StageDiff   `json:"stage_cases"`
+	Analyze       []AnalyzeDiff `json:"analyze_cases"`
+	Sibling       []AnalyzeDiff `json:"sibling_pairs"`
+	HotPath       []HotPathDiff `json:"hotpath_cases,omitempty"`
+	Summary       Summary       `json:"summary"`
 	// Metrics is the aggregated STA engine metrics snapshot of the run
 	// (counters + histograms), present when Config.Metrics was set.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -92,8 +94,10 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Finalize computes the summary from the accumulated per-case records.
+// Finalize computes the summary from the accumulated per-case records and
+// stamps the wire schema version.
 func (r *Report) Finalize() {
+	r.SchemaVersion = v1.SchemaVersion
 	s := &r.Summary
 	*s = Summary{
 		StageCases: len(r.Stage), AnalyzeCases: len(r.Analyze),

@@ -104,10 +104,8 @@ type AnalyzeDiff struct {
 // analyze runs one case on a fresh analyzer with the given worker count,
 // recording into metrics when non-nil.
 func analyze(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCase, workers int, metrics *obs.Registry) (*sta.Analyzer, *sta.Result, error) {
-	a := sta.New(tech, lib)
-	a.Workers = workers
-	a.Metrics = metrics
-	res, err := a.Analyze(c.Netlist, c.Primary, c.Outputs)
+	a := sta.New(tech, lib, sta.Config{Workers: workers, Metrics: metrics})
+	res, err := a.AnalyzeContext(nil, sta.Request{Netlist: c.Netlist, Primary: c.Primary, Outputs: c.Outputs})
 	return a, res, err
 }
 
@@ -154,7 +152,7 @@ func RunAnalyzeDiffObserved(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCas
 		d.Err = err.Error()
 		return d
 	}
-	warm, err := serial.Analyze(c.Netlist, c.Primary, c.Outputs)
+	warm, err := serial.AnalyzeContext(nil, sta.Request{Netlist: c.Netlist, Primary: c.Primary, Outputs: c.Outputs})
 	if err != nil {
 		d.Err = "warm: " + err.Error()
 		return d
@@ -173,7 +171,7 @@ func RunAnalyzeDiffObserved(tech *mos.Tech, lib *devmodel.Library, c *AnalyzeCas
 	if pres.StagesEvaluated != ref.StagesEvaluated {
 		d.Mismatches = append(d.Mismatches, fmt.Sprintf("parallel evaluated %d stages, serial %d", pres.StagesEvaluated, ref.StagesEvaluated))
 	}
-	pwarm, err := par.Analyze(c.Netlist, c.Primary, c.Outputs)
+	pwarm, err := par.AnalyzeContext(nil, sta.Request{Netlist: c.Netlist, Primary: c.Primary, Outputs: c.Outputs})
 	if err != nil {
 		d.Err = "parallel warm: " + err.Error()
 		return d
@@ -198,15 +196,13 @@ func RunSiblingDiff(tech *mos.Tech, lib *devmodel.Library, p *SiblingPair, worke
 // registry attached to the analyzers it constructs.
 func RunSiblingDiffObserved(tech *mos.Tech, lib *devmodel.Library, p *SiblingPair, workers int, metrics *obs.Registry) AnalyzeDiff {
 	d := AnalyzeDiff{Name: p.Name}
-	shared := sta.New(tech, lib)
-	shared.Workers = workers
-	shared.Metrics = metrics
-	lightRes, err := shared.Analyze(p.A.Netlist, p.A.Primary, p.A.Outputs)
+	shared := sta.New(tech, lib, sta.Config{Workers: workers, Metrics: metrics})
+	lightRes, err := shared.AnalyzeContext(nil, sta.Request{Netlist: p.A.Netlist, Primary: p.A.Primary, Outputs: p.A.Outputs})
 	if err != nil {
 		d.Err = "light: " + err.Error()
 		return d
 	}
-	heavyShared, err := shared.Analyze(p.B.Netlist, p.B.Primary, p.B.Outputs)
+	heavyShared, err := shared.AnalyzeContext(nil, sta.Request{Netlist: p.B.Netlist, Primary: p.B.Primary, Outputs: p.B.Outputs})
 	if err != nil {
 		d.Err = "heavy (shared cache): " + err.Error()
 		return d

@@ -1,0 +1,27 @@
+package verify
+
+import "testing"
+
+// TestRunService runs the full service-path sweep at a small decoder size.
+// Every cell must pass: wire bit-transparency, warm-disk restart with a
+// >=90 % hit rate, and the chaos contract through the front door.
+func TestRunService(t *testing.T) {
+	rep, err := RunService(ServiceConfig{Seed: 5, Workers: 2, Bits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if !c.Pass {
+			t.Errorf("cell %s failed: %v", c.Name, c.Problems)
+		}
+	}
+	if rep.DiskHitRate < 0.9 {
+		t.Errorf("disk hit rate %.3f, want >= 0.9", rep.DiskHitRate)
+	}
+	if !rep.Pass {
+		t.Error("report did not pass")
+	}
+}
