@@ -7,14 +7,16 @@
 # and warm-disk-service benchmarks (plus the dated JSON snapshot), a
 # small-budget differential-verification sweep, a small fault-injection
 # (chaos) sweep over every fault class, the incremental (ECO) edit-sequence
-# differential, and the service-path differential (wire bit-transparency,
-# warm-disk restart, chaos through POST /analyze).
+# differential, the service-path differential (wire bit-transparency,
+# warm-disk restart, chaos through POST /analyze), and the remote-cache
+# gates: the two-replica shared-tier smoke plus the kill/restart race test
+# (remote-smoke) and the network-chaos differential (remote-chaos).
 
 GO ?= go
 
-.PHONY: ci vet build test race race-obs trace-smoke leak-check service-smoke bench bench-full bench-json verify verify-full chaos chaos-full eco eco-full service-verify
+.PHONY: ci vet build test race race-obs trace-smoke leak-check service-smoke bench bench-full bench-json verify verify-full chaos chaos-full eco eco-full service-verify remote-smoke remote-chaos
 
-ci: vet build race-obs race trace-smoke leak-check service-smoke bench bench-json verify chaos eco service-verify
+ci: vet build race-obs race trace-smoke leak-check service-smoke remote-smoke bench bench-json verify chaos eco service-verify remote-chaos
 
 vet:
 	$(GO) vet ./...
@@ -119,3 +121,20 @@ eco-full:
 # and isolated from the analyzer pool. Exits non-zero on any violation.
 service-verify:
 	$(GO) run ./cmd/verify -service -o /dev/null
+
+# Remote-cache smoke, under the race detector: two in-process replicas share
+# one tier server (the fresh one must answer warm: zero evaluations, >=90%
+# remote hits, bit-identical results), and concurrent analyses through a
+# full memory→remote→disk chain survive the remote server being killed and
+# restarted mid-run without leaking a goroutine or moving a bit.
+remote-smoke:
+	$(GO) test -race -run 'TestTwoReplicasShareTier|TestChainKillRestartRace' -count=1 ./internal/sta/remotecache/
+
+# Remote-cache differential: each network fault class (net-latency,
+# net-error, net-corrupt) at rate 0.2 must leave results bit-identical to a
+# remote-disabled baseline, the circuit breaker must walk its exact
+# deterministic trajectory against a dead peer, and a dead peer must cost at
+# most the breaker threshold plus one probe per window. Exits non-zero on
+# any violation.
+remote-chaos:
+	$(GO) run ./cmd/verify -remote -o /dev/null

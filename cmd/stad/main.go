@@ -22,6 +22,14 @@
 // When the admission queue is full the daemon sheds load with 429 +
 // Retry-After rather than queueing unbounded work; size -queue and -workers
 // to the deployment.
+//
+// A fleet of daemons can share one warm delay cache: -cache-listen ADDR
+// additionally serves this replica's per-signature caches over the tier API
+// (GET/PUT /tier/{signature}/{key}), and -remote-cache URL makes every
+// pooled analyzer read through memory → remote → disk against a peer's
+// endpoint. The remote client sits behind per-op deadlines, bounded retries
+// and a circuit breaker: a dead or flaky peer degrades to cache misses, and
+// /healthz reports (but never 503s on) an open breaker.
 package main
 
 import (
@@ -38,25 +46,28 @@ import (
 	"qwm/internal/mos"
 	"qwm/internal/obs"
 	"qwm/internal/service"
+	"qwm/internal/sta/remotecache"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		cacheDir   = flag.String("cache-dir", "", "root directory for the persistent delay-cache tier (empty = memory only)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "per-signature disk-cache size cap in bytes (0 = 256 MiB default, negative = unlimited)")
-		queueLen   = flag.Int("queue", 64, "admission-queue capacity in sub-requests; a full queue sheds with 429")
-		workers    = flag.Int("workers", 2, "queue-draining workers (concurrent analyses)")
-		analyzerW  = flag.Int("analyzer-workers", 0, "per-analysis stage-evaluation workers (0 = GOMAXPROCS)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheDir    = flag.String("cache-dir", "", "root directory for the persistent delay-cache tier (empty = memory only)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "per-signature disk-cache size cap in bytes (0 = 256 MiB default, negative = unlimited)")
+		queueLen    = flag.Int("queue", 64, "admission-queue capacity in sub-requests; a full queue sheds with 429")
+		workers     = flag.Int("workers", 2, "queue-draining workers (concurrent analyses)")
+		analyzerW   = flag.Int("analyzer-workers", 0, "per-analysis stage-evaluation workers (0 = GOMAXPROCS)")
+		cacheListen = flag.String("cache-listen", "", "additionally serve this replica's delay cache to the fleet on this address (GET/PUT /tier/)")
+		remoteCache = flag.String("remote-cache", "", "base URL of a peer's -cache-listen endpoint to read through (memory → remote → disk)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheBytes, *queueLen, *workers, *analyzerW); err != nil {
+	if err := run(*addr, *cacheDir, *cacheBytes, *queueLen, *workers, *analyzerW, *cacheListen, *remoteCache); err != nil {
 		fmt.Fprintln(os.Stderr, "stad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWorkers int) error {
+func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWorkers int, cacheListen, remoteCache string) error {
 	reg := obs.NewRegistry()
 	if !reg.Publish("stad") {
 		fmt.Fprintln(os.Stderr, `stad: expvar name "stad" already taken; /debug/vars will not show this registry`)
@@ -68,6 +79,7 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 		AnalyzerWorkers: analyzerWorkers,
 		CacheDir:        cacheDir,
 		CacheBytes:      cacheBytes,
+		RemoteCache:     remoteCache,
 		Metrics:         reg,
 	})
 	svcHandler := svc.Handler()
@@ -84,9 +96,29 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 		svc.Close()
 		return err
 	}
+	// The tier endpoint binds its own address so the fleet-internal cache
+	// plane can be firewalled apart from the client-facing API.
+	var cacheSrv *obs.Server
+	if cacheListen != "" {
+		tier := remotecache.NewServer(svc.TierStoreFor, reg)
+		cacheSrv = &obs.Server{
+			Registry: reg,
+			Extra:    map[string]http.Handler{"/tier/": tier.Handler()},
+		}
+		cacheBound, err := cacheSrv.Start(cacheListen)
+		if err != nil {
+			srv.Shutdown(context.Background())
+			svc.Close()
+			return fmt.Errorf("cache-listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "stad: sharing delay cache on http://%s/tier/\n", cacheBound)
+	}
 	cache := "memory-only"
 	if cacheDir != "" {
 		cache = "disk tier at " + cacheDir
+	}
+	if remoteCache != "" {
+		cache += "; remote tier at " + remoteCache
 	}
 	fmt.Fprintf(os.Stderr, "stad: serving on http://%s (POST /analyze, GET /result/, /metrics /healthz); %s; ctrl-c to stop\n", bound, cache)
 
@@ -98,8 +130,13 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err = srv.Shutdown(ctx)
-	// Close after the listener stops: no new work can arrive, in-flight
-	// analyses finish, the disk tier flushes.
+	if cacheSrv != nil {
+		if cerr := cacheSrv.Shutdown(ctx); err == nil {
+			err = cerr
+		}
+	}
+	// Close after the listeners stop: no new work can arrive, in-flight
+	// analyses finish, the remote and disk tiers flush.
 	if cerr := svc.Close(); err == nil {
 		err = cerr
 	}

@@ -45,8 +45,18 @@ func main() {
 		ecoEdits = flag.Int("eco-edits", 6, "number of edit steps per (workload, variant) sequence in the eco sweep")
 
 		svc = flag.Bool("service", false, "run the service-path differential instead: direct-vs-wire bit identity, warm-disk restart with >=90% hit rate, and the chaos contract through POST /analyze")
+
+		remote     = flag.Bool("remote", false, "run the remote-cache differential instead: network chaos bit identity, deterministic breaker trajectory, warm shared-tier replica, dead-peer cost bound")
+		remoteRate = flag.Float64("remote-rate", 0.2, "per-class network fault rate in (0,1] for the remote sweep")
 	)
 	flag.Parse()
+	if *remote {
+		if err := runRemote(*seed, *workers, *remoteRate, *outPath, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *svc {
 		if err := runService(*seed, *workers, *outPath, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "verify:", err)
@@ -177,6 +187,44 @@ func runService(seed int64, workers int, outPath string, verbose bool) error {
 		return fmt.Errorf("service gates failed")
 	}
 	fmt.Fprintln(os.Stderr, "verify -service: PASS")
+	return nil
+}
+
+// runRemote executes the remote-cache differential and gates on the
+// fault-tolerance envelope's invariants: network chaos (latency, errors,
+// corruption) must never move a single result bit relative to a
+// remote-disabled baseline, the circuit breaker must walk a deterministic
+// state trajectory against a dead peer, a fresh replica must answer warm
+// (>=90 % remote hits, zero evaluations) off a shared tier, and a dead peer
+// must cost at most the breaker threshold plus one probe per window.
+func runRemote(seed int64, workers int, rate float64, outPath string, verbose bool) error {
+	cfg := verify.RemoteConfig{Seed: seed, Workers: workers, Rate: rate}
+	if verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := verify.RunRemote(cfg)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(string(b))
+	}
+	fmt.Fprintf(os.Stderr, "verify -remote: %d cells, %d failures, remote hit rate %.3f\n",
+		len(rep.Cells), rep.Failures, rep.RemoteHitRate)
+	if !rep.Pass {
+		return fmt.Errorf("remote gates failed")
+	}
+	fmt.Fprintln(os.Stderr, "verify -remote: PASS")
 	return nil
 }
 

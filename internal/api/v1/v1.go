@@ -143,6 +143,8 @@ const (
 	CodeAnalysisFailed = "analysis_failed" // the engine returned an error
 	CodeOverloaded     = "overloaded"      // work queue full; retry after backoff
 	CodeNotFound       = "not_found"       // unknown /result id
+	CodeGone           = "gone"            // /result id was retained, then FIFO-evicted
+	CodeCancelled      = "cancelled"       // client disconnected before analysis started
 )
 
 // Error is the wire form of a failure.

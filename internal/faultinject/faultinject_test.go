@@ -157,4 +157,28 @@ func TestParseClassRoundTrip(t *testing.T) {
 	if len(Classes()) != int(NumClasses) {
 		t.Errorf("Classes() has %d entries, want %d", len(Classes()), NumClasses)
 	}
+	// The network classes are part of the enum round trip above; pin their
+	// canonical names and the Network() partition explicitly so a renamed or
+	// re-ordered entry cannot slip through the generic loop.
+	wantNames := map[Class]string{
+		NetLatency: "net-latency",
+		NetError:   "net-error",
+		NetCorrupt: "net-corrupt",
+	}
+	for c, name := range wantNames {
+		if c.String() != name {
+			t.Errorf("%v.String() = %q, want %q", uint8(c), c.String(), name)
+		}
+		if !c.Network() {
+			t.Errorf("%s.Network() = false, want true", name)
+		}
+		if got, err := ParseClass(name); err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", name, got, err)
+		}
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if _, isNet := wantNames[c]; c.Network() != isNet {
+			t.Errorf("%s.Network() = %v, want %v", c, c.Network(), isNet)
+		}
+	}
 }

@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"qwm/internal/api/v1"
@@ -43,9 +46,29 @@ func httpStatus(resp v1.AnalyzeResponse) int {
 		return http.StatusTooManyRequests
 	case v1.CodeNotFound:
 		return http.StatusNotFound
+	case v1.CodeGone:
+		return http.StatusGone
+	case v1.CodeCancelled:
+		return http.StatusRequestTimeout
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfter derives the 429 Retry-After hint: a base that grows with the
+// queued backlog relative to drain capacity (an empty queue says "1", a deep
+// one says "come back much later"), plus a deterministic per-request jitter
+// hashed from the request id so a burst of rejected clients does not return
+// in lockstep and re-collide. Same id, same depth, same answer — replayable
+// under test.
+func (s *Server) retryAfter(id string) string {
+	base := 1 + s.queue.queuedDepth()/(4*s.opts.Workers)
+	if base > 30 {
+		base = 30
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return strconv.Itoa(base + int(h.Sum64()%uint64(base+1)))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -78,7 +101,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if probe.Requests != nil {
-		s.handleBatch(w, body)
+		s.handleBatch(w, r, body)
 		return
 	}
 
@@ -89,9 +112,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mRequests.Inc()
-	b := s.admit([]v1.AnalyzeRequest{req}, false)
+	b := s.admit(r.Context(), []v1.AnalyzeRequest{req}, false)
 	if b == nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(req.ID))
 		writeJSON(w, http.StatusTooManyRequests,
 			v1.ErrorResponse(req.ID, v1.CodeOverloaded, "work queue full, retry later"))
 		return
@@ -101,7 +124,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, httpStatus(resp), resp)
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, body []byte) {
 	var breq v1.BatchRequest
 	if err := json.Unmarshal(body, &breq); err != nil {
 		writeJSON(w, http.StatusBadRequest,
@@ -129,9 +152,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
 					len(breq.Requests), s.opts.QueueLen)))
 		return
 	}
-	b := s.admit(breq.Requests, breq.Async)
+	// Async batches outlive the submitting connection: their jobs run under
+	// Background so a post-202 disconnect cannot shed retained work.
+	ctx := r.Context()
+	if breq.Async {
+		ctx = context.Background()
+	}
+	b := s.admit(ctx, breq.Requests, breq.Async)
 	if b == nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(breq.ID))
 		writeJSON(w, http.StatusTooManyRequests, v1.BatchResponse{
 			SchemaVersion: v1.SchemaVersion,
 			ID:            breq.ID,
@@ -181,13 +210,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/result/")
-	b := s.lookup(id)
+	b, evicted := s.lookup(id)
 	if b == nil {
+		// Two distinct failures, two distinct answers: an id this server
+		// retained and then FIFO-evicted is 410 Gone (the result existed;
+		// polling later cannot help), an id it never issued is 404.
+		if evicted {
+			writeJSON(w, http.StatusGone, v1.BatchResponse{
+				SchemaVersion: v1.SchemaVersion,
+				ID:            id,
+				Status:        v1.StatusError,
+				Error:         &v1.Error{Code: v1.CodeGone, Message: "result evicted by retention cap; re-submit the batch"},
+			})
+			return
+		}
 		writeJSON(w, http.StatusNotFound, v1.BatchResponse{
 			SchemaVersion: v1.SchemaVersion,
 			ID:            id,
 			Status:        v1.StatusError,
-			Error:         &v1.Error{Code: v1.CodeNotFound, Message: "unknown or evicted result id"},
+			Error:         &v1.Error{Code: v1.CodeNotFound, Message: "unknown result id"},
 		})
 		return
 	}

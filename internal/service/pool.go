@@ -18,32 +18,61 @@ import (
 	"qwm/internal/reduce"
 	"qwm/internal/sta"
 	"qwm/internal/sta/diskcache"
+	"qwm/internal/sta/remotecache"
 )
 
 // pool keys shared analyzers by their result signature. Each pooled
-// analyzer owns one in-memory delay cache and (when a cache directory is
-// configured) one disk-tier namespace directory named by the FNV-64a hex of
-// the signature — the full signature is persisted inside by diskcache.Open,
-// so hash collisions are detected, not silently merged.
+// analyzer owns one in-memory delay cache and a tier chain composed from
+// what the deployment configured: a bounded memory tier shielding a remote
+// (replica-shared) cache client, backed by a disk-tier namespace directory
+// named by the FNV-64a hex of the signature — the full signature is
+// persisted inside by diskcache.Open, so hash collisions are detected, not
+// silently merged. The per-signature stores live on the pool itself, shared
+// between analyzer wiring and the tier-serving endpoint (TierStoreFor):
+// diskcache is single-writer per directory, so both consumers MUST see the
+// same *Store.
 type pool struct {
 	tech       *mos.Tech
 	lib        *devmodel.Library
 	cacheDir   string
 	cacheBytes int64
+	remoteURL  string // base URL of a shared remote tier; "" disables
 	metrics    *obs.Registry
 
 	mu        sync.Mutex
 	analyzers map[string]*pooledAnalyzer
+	stores    map[string]*diskcache.Store   // per-signature disk namespaces
+	memories  map[string]*sta.MemoryTier    // serving stores when no cache dir
+	remotes   map[string]*remotecache.Client // per-signature remote clients
 }
 
 type pooledAnalyzer struct {
-	a     *sta.Analyzer
-	store *diskcache.Store // nil without a cache dir
+	a *sta.Analyzer
 }
 
-// get returns the pooled analyzer for cfg, creating it (and opening its
-// disk namespace) on first use. cfg must not carry a Tier — the pool owns
-// tier wiring.
+// storeLocked opens (once) the disk namespace for sig. Caller holds p.mu;
+// p.cacheDir must be set.
+func (p *pool) storeLocked(sig string) (*diskcache.Store, error) {
+	if store, ok := p.stores[sig]; ok {
+		return store, nil
+	}
+	dir := filepath.Join(p.cacheDir, sigDirName(sig))
+	store, err := diskcache.Open(dir, sig, diskcache.Options{
+		MaxBytes: p.cacheBytes,
+		Metrics:  p.metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: opening disk cache for %q: %w", sig, err)
+	}
+	if p.stores == nil {
+		p.stores = map[string]*diskcache.Store{}
+	}
+	p.stores[sig] = store
+	return store, nil
+}
+
+// get returns the pooled analyzer for cfg, creating it (and its tier chain)
+// on first use. cfg must not carry a Tier — the pool owns tier wiring.
 func (p *pool) get(cfg sta.Config) (*pooledAnalyzer, error) {
 	sig := cfg.Signature()
 	p.mu.Lock()
@@ -51,38 +80,91 @@ func (p *pool) get(cfg sta.Config) (*pooledAnalyzer, error) {
 	if pa, ok := p.analyzers[sig]; ok {
 		return pa, nil
 	}
-	pa := &pooledAnalyzer{}
-	if p.cacheDir != "" {
-		dir := filepath.Join(p.cacheDir, sigDirName(sig))
-		store, err := diskcache.Open(dir, sig, diskcache.Options{
-			MaxBytes: p.cacheBytes,
-			Metrics:  p.metrics,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("service: opening disk cache for %q: %w", sig, err)
+	// Compose the tier chain, fastest first: memory → remote → disk. The
+	// memory tier exists to shield the remote client — a flapping peer is
+	// consulted at most once per key per process; without a remote there is
+	// nothing to shield (the analyzer's own delay cache sits above every
+	// tier) and the chain is just the disk store.
+	var tiers []sta.TierStore
+	if p.remoteURL != "" {
+		rc := remotecache.New(p.remoteURL, sig, remotecache.Options{Metrics: p.metrics})
+		if p.remotes == nil {
+			p.remotes = map[string]*remotecache.Client{}
 		}
-		pa.store = store
-		cfg.Tier = store
+		p.remotes[sig] = rc
+		tiers = append(tiers, sta.NewMemoryTier(0), rc)
 	}
+	if p.cacheDir != "" {
+		store, err := p.storeLocked(sig)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, store)
+	}
+	cfg.Tier = sta.NewTierChain(tiers...)
 	cfg.Metrics = p.metrics
-	pa.a = sta.New(p.tech, p.lib, cfg)
+	pa := &pooledAnalyzer{a: sta.New(p.tech, p.lib, cfg)}
 	p.analyzers[sig] = pa
 	return pa, nil
+}
+
+// tierStoreFor resolves the store the TIER SERVER serves for one signature:
+// the same per-signature disk namespace the local analyzers write through
+// (so this replica's warm cache is what the fleet shares), or a memory tier
+// when the deployment has no cache directory.
+func (p *pool) tierStoreFor(sig string) (sta.TierStore, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cacheDir != "" {
+		return p.storeLocked(sig)
+	}
+	mt, ok := p.memories[sig]
+	if !ok {
+		mt = sta.NewMemoryTier(0)
+		if p.memories == nil {
+			p.memories = map[string]*sta.MemoryTier{}
+		}
+		p.memories[sig] = mt
+	}
+	return mt, nil
+}
+
+// breakerStates snapshots every remote client's breaker, keyed by signature.
+func (p *pool) breakerStates() map[string]remotecache.BreakerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.remotes) == 0 {
+		return nil
+	}
+	out := make(map[string]remotecache.BreakerState, len(p.remotes))
+	for sig, rc := range p.remotes {
+		out[sig] = rc.BreakerState()
+	}
+	return out
 }
 
 func (p *pool) close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var first error
-	for _, pa := range p.analyzers {
-		if pa.store != nil {
-			pa.store.Flush()
-			if err := pa.store.Close(); err != nil && first == nil {
-				first = err
-			}
+	// Remote clients first: their write-behind queues drain into the
+	// network, independent of the disk stores.
+	for _, rc := range p.remotes {
+		rc.Flush()
+		if err := rc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, store := range p.stores {
+		store.Flush()
+		if err := store.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	p.analyzers = map[string]*pooledAnalyzer{}
+	p.stores = nil
+	p.memories = nil
+	p.remotes = nil
 	return first
 }
 

@@ -22,6 +22,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,8 @@ import (
 	"qwm/internal/devmodel"
 	"qwm/internal/mos"
 	"qwm/internal/obs"
+	"qwm/internal/sta"
+	"qwm/internal/sta/remotecache"
 )
 
 // Options configures a Server. The zero value is usable: 64-slot queue, 2
@@ -50,8 +53,15 @@ type Options struct {
 	// CacheBytes caps each namespace's disk usage (0 = the diskcache
 	// default, 256 MiB).
 	CacheBytes int64
+	// RemoteCache, when set, is the base URL of a replica-shared remote
+	// delay-cache tier (a peer's stad -cache-listen endpoint). Every pooled
+	// analyzer then reads through memory → remote → disk; the remote client
+	// degrades every network failure to a cache miss behind timeouts,
+	// bounded retries and a circuit breaker, so a dead peer never fails or
+	// stalls an analysis. "" disables.
+	RemoteCache string
 	// ResultCap bounds retained async batch results; the oldest are evicted
-	// first (polling an evicted id returns 404). 0 means 64.
+	// first (polling an evicted id returns 410 Gone). 0 means 64.
 	ResultCap int
 	// Metrics, when set, receives the service counters (service/...), the
 	// engine's per-analyze aggregates and the disk tier's counters.
@@ -82,16 +92,29 @@ type Server struct {
 	resMu   sync.Mutex
 	results map[string]*batch
 	order   []string // insertion order, for FIFO eviction
-	nextID  atomic.Int64
+	// evicted remembers ids that were retained and then FIFO-evicted, so
+	// /result can answer 410 Gone ("you were too late") instead of the
+	// indistinguishable 404 ("never heard of it"). Bounded FIFO itself.
+	evicted    map[string]struct{}
+	evictOrder []string
+	nextID     atomic.Int64
 
 	wg sync.WaitGroup
 
-	mRequests, mBatches, mOK, mErr, mShed *obs.Counter
+	mRequests, mBatches, mOK, mErr, mShed, mCancelled *obs.Counter
 }
 
+// evictedCap bounds the remembered-eviction set; beyond it the oldest
+// tombstones decay back into plain 404s.
+const evictedCap = 1024
+
 // job is one queued sub-request. Exactly one worker processes it, writes
-// resp, and marks it done on its batch.
+// resp, and marks it done on its batch. ctx is the submitting client's
+// request context for synchronous work (Background for async batches, whose
+// results outlive the submit call): a client that disconnects while its job
+// is still queued gets shed at dequeue instead of burning a worker.
 type job struct {
+	ctx   context.Context
 	req   v1.AnalyzeRequest
 	idx   int
 	batch *batch
@@ -135,11 +158,13 @@ func New(tech *mos.Tech, lib *devmodel.Library, opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		results: map[string]*batch{},
+		evicted: map[string]struct{}{},
 		queue:   newWorkQueue(opts.QueueLen, opts.Metrics.Gauge("service/queue/depth")),
 		pool: &pool{
 			tech: tech, lib: lib,
 			cacheDir:   opts.CacheDir,
 			cacheBytes: opts.CacheBytes,
+			remoteURL:  opts.RemoteCache,
 			metrics:    opts.Metrics,
 			analyzers:  map[string]*pooledAnalyzer{},
 		},
@@ -150,6 +175,7 @@ func New(tech *mos.Tech, lib *devmodel.Library, opts Options) *Server {
 	s.mOK = r.Counter("service/analyses_ok")
 	s.mErr = r.Counter("service/analyses_err")
 	s.mShed = r.Counter("service/rejected_overload")
+	s.mCancelled = r.Counter("service/cancelled")
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -165,6 +191,16 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
+		// The cheapest analysis is the one nobody is waiting for: a client
+		// that hung up while its job sat queued is shed here, before any
+		// engine work, as a counted cancellation.
+		if j.ctx != nil && j.ctx.Err() != nil {
+			s.mCancelled.Inc()
+			s.mErr.Inc()
+			j.batch.complete(j.idx, v1.ErrorResponse(j.req.ID, v1.CodeCancelled,
+				"client disconnected before analysis started"))
+			continue
+		}
 		resp := s.analyze(j.req)
 		if resp.Status == v1.StatusOK {
 			s.mOK.Inc()
@@ -177,8 +213,9 @@ func (s *Server) worker() {
 
 // admit reserves queue slots for every request of a group, all or nothing.
 // It returns the tracking batch, or nil when the queue cannot take the
-// group right now (back off and retry).
-func (s *Server) admit(reqs []v1.AnalyzeRequest, async bool) *batch {
+// group right now (back off and retry). ctx is the submitting client's
+// context for synchronous groups; pass context.Background() for async ones.
+func (s *Server) admit(ctx context.Context, reqs []v1.AnalyzeRequest, async bool) *batch {
 	b := &batch{
 		id:        fmt.Sprintf("b%06d", s.nextID.Add(1)),
 		async:     async,
@@ -188,7 +225,7 @@ func (s *Server) admit(reqs []v1.AnalyzeRequest, async bool) *batch {
 	}
 	jobs := make([]*job, len(reqs))
 	for i, r := range reqs {
-		jobs[i] = &job{req: r, idx: i, batch: b}
+		jobs[i] = &job{ctx: ctx, req: r, idx: i, batch: b}
 	}
 	if !s.queue.tryPush(jobs) {
 		s.mShed.Inc()
@@ -211,21 +248,63 @@ func (s *Server) retain(b *batch) {
 		evict := s.order[0]
 		s.order = s.order[1:]
 		delete(s.results, evict)
+		if _, dup := s.evicted[evict]; !dup {
+			s.evicted[evict] = struct{}{}
+			s.evictOrder = append(s.evictOrder, evict)
+			for len(s.evictOrder) > evictedCap {
+				delete(s.evicted, s.evictOrder[0])
+				s.evictOrder = s.evictOrder[1:]
+			}
+		}
 	}
 }
 
-// lookup finds a retained async batch.
-func (s *Server) lookup(id string) *batch {
+// lookup finds a retained async batch; evicted reports whether the id was
+// once retained and has since been FIFO-evicted (410 Gone, not 404).
+func (s *Server) lookup(id string) (b *batch, evicted bool) {
 	s.resMu.Lock()
 	defer s.resMu.Unlock()
-	return s.results[id]
+	if b := s.results[id]; b != nil {
+		return b, false
+	}
+	_, ev := s.evicted[id]
+	return nil, ev
+}
+
+// TierStoreFor resolves the per-signature store this replica SERVES to the
+// fleet over the remote-cache tier API (remotecache.Server.StoreFor): the
+// same disk namespace its own analyzers write through, or a memory tier
+// without a cache directory. Unknown signatures are created on demand —
+// the requesting peer defines the namespace.
+func (s *Server) TierStoreFor(signature string) (sta.TierStore, error) {
+	return s.pool.tierStoreFor(signature)
+}
+
+// RemoteBreakers snapshots every remote-cache client's circuit-breaker
+// state, keyed by analyzer signature; nil when no remote tier is
+// configured or no analyzer has been pooled yet.
+func (s *Server) RemoteBreakers() map[string]remotecache.BreakerState {
+	return s.pool.breakerStates()
 }
 
 // Healthy implements the /healthz hook: degraded while the queue is
-// saturated (admission would shed).
+// saturated (admission would shed). An open remote-cache breaker is
+// REPORTED in the detail but does not degrade health — the tier is an
+// optimization, the engine re-evaluates on every miss, and failing a
+// load-balancer check because a peer died would turn one replica's outage
+// into the fleet's.
 func (s *Server) Healthy() (bool, string) {
 	if s.queue.full() {
 		return false, "work queue saturated"
+	}
+	open := 0
+	for _, st := range s.pool.breakerStates() {
+		if st != remotecache.BreakerClosed {
+			open++
+		}
+	}
+	if open > 0 {
+		return true, fmt.Sprintf("ok (remote cache degraded: %d breaker(s) not closed)", open)
 	}
 	return true, "ok"
 }
@@ -299,6 +378,13 @@ func (q *workQueue) full() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.n == len(q.buf)
+}
+
+// queuedDepth returns the number of queued-but-unstarted jobs.
+func (q *workQueue) queuedDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
 }
 
 // close marks the queue closed and returns the jobs that were queued but

@@ -2,10 +2,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -427,5 +429,135 @@ func BenchmarkServiceWarmDisk(b *testing.B) {
 		b.StopTimer()
 		s.Close()
 		b.StartTimer()
+	}
+}
+
+// TestResultGoneVsNotFound pins the two distinct /result failure answers:
+// an id this server retained and then FIFO-evicted is 410 Gone with the
+// stable v1 "gone" code; an id it never issued is 404 with "not_found".
+func TestResultGoneVsNotFound(t *testing.T) {
+	deck, _, outs := decoderDeck(t)
+	_, hs := newTestServer(t, Options{Workers: 2, ResultCap: 1})
+
+	submit := func(id string) string {
+		hr, body := postJSON(t, hs.URL, v1.BatchRequest{
+			SchemaVersion: v1.SchemaVersion,
+			Async:         true,
+			Requests:      []v1.AnalyzeRequest{{ID: id, Netlist: deck, Outputs: outs[:1]}},
+		})
+		if hr.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d, body %s", id, hr.StatusCode, body)
+		}
+		var acc v1.BatchResponse
+		if err := json.Unmarshal(body, &acc); err != nil {
+			t.Fatal(err)
+		}
+		return acc.ID
+	}
+	poll := func(id string) (int, v1.BatchResponse) {
+		hr, err := http.Get(hs.URL + "/result/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hr.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(hr.Body)
+		var resp v1.BatchResponse
+		if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+			t.Fatalf("undecodable poll body %s: %v", buf.String(), err)
+		}
+		return hr.StatusCode, resp
+	}
+
+	first := submit("first")
+	second := submit("second") // ResultCap 1: retaining this evicts `first`
+
+	status, resp := poll(first)
+	if status != http.StatusGone {
+		t.Fatalf("evicted id: status %d, want 410 (%+v)", status, resp)
+	}
+	if resp.Error == nil || resp.Error.Code != v1.CodeGone {
+		t.Fatalf("evicted id: error %+v, want code %q", resp.Error, v1.CodeGone)
+	}
+
+	status, resp = poll("b999999")
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", status)
+	}
+	if resp.Error == nil || resp.Error.Code != v1.CodeNotFound {
+		t.Fatalf("unknown id: error %+v, want code %q", resp.Error, v1.CodeNotFound)
+	}
+
+	// The surviving id still resolves (200 or 202 depending on progress).
+	if status, _ := poll(second); status != http.StatusOK && status != http.StatusAccepted {
+		t.Fatalf("retained id: status %d", status)
+	}
+}
+
+// TestDequeueCancellationShed pins the worker-side disconnect check: a job
+// whose client context is already dead when a worker dequeues it is shed as
+// a counted cancellation, without any engine work.
+func TestDequeueCancellationShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(tech, lib, Options{Workers: 1, Metrics: reg})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the job is even queued
+	b := s.admit(ctx, []v1.AnalyzeRequest{{ID: "dead", Netlist: "* x\n.end\n", Outputs: []string{"y"}}}, false)
+	if b == nil {
+		t.Fatal("admission failed on an empty queue")
+	}
+	<-b.done
+	resp := b.responses[0]
+	if resp.Status != v1.StatusError || resp.Error == nil || resp.Error.Code != v1.CodeCancelled {
+		t.Fatalf("shed response = %+v, want code %q", resp, v1.CodeCancelled)
+	}
+	if got := httpStatus(resp); got != http.StatusRequestTimeout {
+		t.Fatalf("httpStatus(cancelled) = %d, want 408", got)
+	}
+	if n := s.mCancelled.Value(); n != 1 {
+		t.Fatalf("service/cancelled = %d, want 1", n)
+	}
+}
+
+// TestRetryAfterDerived pins the 429 backoff hint: deterministic per id,
+// growing with queue depth, and bounded.
+func TestRetryAfterDerived(t *testing.T) {
+	s := &Server{opts: Options{Workers: 2}.withDefaults(), queue: newWorkQueue(256, nil)}
+
+	idle := s.retryAfter("client-1")
+	if idle != s.retryAfter("client-1") {
+		t.Fatal("Retry-After not deterministic for a fixed id and depth")
+	}
+	n, err := strconv.Atoi(idle)
+	if err != nil || n < 1 || n > 2 {
+		t.Fatalf("idle Retry-After = %q, want 1..2 (base 1 + jitter in [0,1])", idle)
+	}
+
+	// Jitter decorrelates ids: across a handful of ids both values appear.
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		seen[s.retryAfter(fmt.Sprintf("client-%d", i))] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("32 ids produced a single Retry-After %v; jitter is dead", seen)
+	}
+
+	// Load the queue: base = 1 + 240/(4*2) = 31, capped at 30; with jitter
+	// the answer lives in [30, 60].
+	jobs := make([]*job, 240)
+	for i := range jobs {
+		jobs[i] = &job{}
+	}
+	if !s.queue.tryPush(jobs) {
+		t.Fatal("tryPush failed")
+	}
+	deep, err := strconv.Atoi(s.retryAfter("client-1"))
+	if err != nil || deep < 30 || deep > 60 {
+		t.Fatalf("deep-queue Retry-After = %q, want 30..60", s.retryAfter("client-1"))
+	}
+	if deep <= n {
+		t.Errorf("Retry-After did not grow with queue depth: idle %d, deep %d", n, deep)
 	}
 }

@@ -1,0 +1,156 @@
+package remotecache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qwm/internal/obs"
+)
+
+// BreakerState enumerates the circuit breaker's three states.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally; consecutive failures are
+	// counted and trip the breaker at the threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: exactly one probe request is in flight; its outcome
+	// decides between Closed (success) and Open (failure).
+	BreakerHalfOpen
+	// BreakerOpen: requests are suppressed without touching the network —
+	// each costs one atomic load plus counter bookkeeping, never a timeout.
+	BreakerOpen
+)
+
+// String returns the canonical state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is a three-state circuit breaker with DETERMINISTIC, count-based
+// probing: it opens after `threshold` consecutive failures, and while open
+// every `probeEvery`-th suppressed operation is promoted to a half-open
+// probe. A wall-clock cooldown can additionally force a probe (for
+// deployments where traffic may stop entirely), but because the count-based
+// trigger dominates under steady traffic, a fixed request sequence produces
+// a fixed state trajectory — which is what lets verify -remote assert exact
+// transition points and exact network-attempt counts against a dead peer.
+//
+// Successes and failures are judged by the CALLER: a transport-level round
+// trip that completes (including a 404 miss) is a success; timeouts,
+// connection errors and 5xx responses are failures. Data corruption is
+// deliberately breaker-neutral — a corrupt frame is a data-plane problem the
+// CRC already converts into a miss, and opening the breaker for it would let
+// one bad record blind the tier for everyone.
+type breaker struct {
+	threshold  int
+	probeEvery int64
+	cooldown   time.Duration
+	now        func() time.Time
+
+	state atomic.Int32 // BreakerState; atomic so the closed fast path is lock-free
+
+	mu          sync.Mutex
+	consecFails int
+	skips       int64 // suppressed ops since the breaker opened / last probe
+	openedAt    time.Time
+
+	// Local counters mirrored into the (possibly nil) registry, so Stats
+	// works without one — the diskcache counter-pair idiom.
+	opens, probes cpair
+
+	gauge   *obs.Gauge   // sta/remote/breaker_state (0 closed, 1 half-open, 2 open)
+	mOpens  *obs.Counter // sta/remote/breaker_opens (every transition to Open)
+	mProbes *obs.Counter // sta/remote/probes
+}
+
+func newBreaker(threshold int, probeEvery int64, cooldown time.Duration, r *obs.Registry) *breaker {
+	b := &breaker{
+		threshold:  threshold,
+		probeEvery: probeEvery,
+		cooldown:   cooldown,
+		now:        time.Now,
+		gauge:      r.Gauge("sta/remote/breaker_state"),
+		mOpens:     r.Counter("sta/remote/breaker_opens"),
+		mProbes:    r.Counter("sta/remote/probes"),
+	}
+	return b
+}
+
+func (b *breaker) setState(s BreakerState) {
+	b.state.Store(int32(s))
+	b.gauge.Set(int64(s))
+}
+
+// State returns the current state (lock-free).
+func (b *breaker) State() BreakerState { return BreakerState(b.state.Load()) }
+
+// allow decides whether an operation may reach the network. probe is true
+// when the operation was promoted to a half-open probe; the caller MUST
+// report the outcome via success(probe) or failure(probe).
+func (b *breaker) allow() (proceed, probe bool) {
+	if BreakerState(b.state.Load()) == BreakerClosed {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed: // raced with a success; proceed normally
+		return true, false
+	case BreakerHalfOpen: // a probe is already in flight
+		b.skips++
+		return false, false
+	}
+	// Open: suppress, unless this op is promoted to a probe.
+	b.skips++
+	if (b.probeEvery > 0 && b.skips >= b.probeEvery) ||
+		(b.cooldown > 0 && b.now().Sub(b.openedAt) >= b.cooldown) {
+		b.skips = 0
+		b.setState(BreakerHalfOpen)
+		b.probes.add(1, b.mProbes)
+		return true, true
+	}
+	return false, false
+}
+
+// success records a completed round trip. Any success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	if BreakerState(b.state.Load()) != BreakerClosed {
+		b.skips = 0
+		b.setState(BreakerClosed)
+	}
+}
+
+// failure records a failed round trip. A failed probe re-opens immediately;
+// accumulated failures while closed open at the threshold.
+func (b *breaker) failure(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe || BreakerState(b.state.Load()) == BreakerHalfOpen {
+		b.openedAt = b.now()
+		b.skips = 0
+		b.setState(BreakerOpen)
+		b.opens.add(1, b.mOpens)
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= b.threshold && BreakerState(b.state.Load()) == BreakerClosed {
+		b.consecFails = 0
+		b.openedAt = b.now()
+		b.skips = 0
+		b.setState(BreakerOpen)
+		b.opens.add(1, b.mOpens)
+	}
+}

@@ -1,0 +1,201 @@
+package remotecache
+
+import (
+	"encoding/base64"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"qwm/internal/obs"
+	"qwm/internal/sta"
+	"qwm/internal/sta/diskcache"
+)
+
+// tierPathPrefix is the URL prefix of the tier API. One cache key lives at
+//
+//	/tier/<base64url(signature)>/<base64url(key)>
+//
+// with both path segments base64.RawURLEncoding-encoded: signatures and
+// cache keys are structured strings full of separators, and encoding keeps
+// the URL router trivial and proxy-safe. GET returns 200 with a
+// CRC32-Castagnoli-framed record (the diskcache on-disk format, see
+// diskcache.EncodeRecord) or 404 for a miss; PUT accepts the same frame and
+// answers 204, or 400 when the frame fails the checksum, embeds a different
+// key than the URL, or decodes to an invalid entry — a corrupt upload is
+// counted and discarded, never stored.
+const tierPathPrefix = "/tier/"
+
+// contentType labels tier frames in transit.
+const contentType = "application/x-qwm-tier-record"
+
+// maxRequestBytes bounds one PUT body, mirroring maxResponseBytes.
+const maxRequestBytes = maxResponseBytes
+
+// ServerStats is a snapshot of a Server's counters.
+type ServerStats struct {
+	Gets, Hits, Misses int64
+	Puts, Stored       int64
+	Corrupt            int64 // PUT frames rejected (CRC, key mismatch, invalid entry)
+	BadRequests        int64 // malformed paths / methods
+}
+
+// Server exposes TierStores over HTTP so a fleet of replicas can share one
+// warm delay cache. It holds no storage of its own: StoreFor maps a result
+// signature to the backing TierStore (a diskcache namespace, a MemoryTier, a
+// chain — anything honouring the TierStore contract). Mount Handler() under
+// obs.Server.Extra or any mux.
+type Server struct {
+	// StoreFor resolves the backing store for one result signature,
+	// typically creating it on first use. An error refuses the namespace
+	// (500); a nil store with nil error serves misses and drops puts.
+	StoreFor func(signature string) (sta.TierStore, error)
+
+	gets, hits, misses, puts, stored, corrupt, badreq cpair
+	mGets, mHits, mMisses, mPuts, mStored, mCorrupt,
+	mBadreq *obs.Counter
+}
+
+// NewServer builds a Server over the given namespace resolver. metrics may
+// be nil.
+func NewServer(storeFor func(signature string) (sta.TierStore, error), metrics *obs.Registry) *Server {
+	s := &Server{StoreFor: storeFor}
+	s.mGets = metrics.Counter("sta/remote/server/gets")
+	s.mHits = metrics.Counter("sta/remote/server/hits")
+	s.mMisses = metrics.Counter("sta/remote/server/misses")
+	s.mPuts = metrics.Counter("sta/remote/server/puts")
+	s.mStored = metrics.Counter("sta/remote/server/stored")
+	s.mCorrupt = metrics.Counter("sta/remote/server/corrupt")
+	s.mBadreq = metrics.Counter("sta/remote/server/badrequests")
+	return s
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Gets:        s.gets.value(),
+		Hits:        s.hits.value(),
+		Misses:      s.misses.value(),
+		Puts:        s.puts.value(),
+		Stored:      s.stored.value(),
+		Corrupt:     s.corrupt.value(),
+		BadRequests: s.badreq.value(),
+	}
+}
+
+// Handler returns the http.Handler serving the tier API. Mount it at
+// tierPathPrefix ("/tier/").
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serve) }
+
+// parseTierPath splits /tier/<b64sig>/<b64key> into the decoded signature
+// and key.
+func parseTierPath(path string) (sig, key string, ok bool) {
+	rest, found := strings.CutPrefix(path, tierPathPrefix)
+	if !found {
+		return "", "", false
+	}
+	encSig, encKey, found := strings.Cut(rest, "/")
+	if !found || encSig == "" || encKey == "" || strings.Contains(encKey, "/") {
+		return "", "", false
+	}
+	sigB, err := base64.RawURLEncoding.DecodeString(encSig)
+	if err != nil {
+		return "", "", false
+	}
+	keyB, err := base64.RawURLEncoding.DecodeString(encKey)
+	if err != nil {
+		return "", "", false
+	}
+	return string(sigB), string(keyB), true
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	sig, key, ok := parseTierPath(r.URL.Path)
+	if !ok {
+		s.badreq.add(1, s.mBadreq)
+		http.Error(w, "remotecache: malformed tier path", http.StatusBadRequest)
+		return
+	}
+	store, err := s.StoreFor(sig)
+	if err != nil {
+		http.Error(w, "remotecache: namespace unavailable", http.StatusInternalServerError)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleGet(w, store, key)
+	case http.MethodPut:
+		s.handlePut(w, r, store, key)
+	default:
+		s.badreq.add(1, s.mBadreq)
+		w.Header().Set("Allow", "GET, PUT")
+		http.Error(w, "remotecache: method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, store sta.TierStore, key string) {
+	s.gets.add(1, s.mGets)
+	if store == nil {
+		s.misses.add(1, s.mMisses)
+		http.Error(w, "miss", http.StatusNotFound)
+		return
+	}
+	e, ok := store.Get(key)
+	if !ok || !e.Valid() {
+		s.misses.add(1, s.mMisses)
+		http.Error(w, "miss", http.StatusNotFound)
+		return
+	}
+	s.hits.add(1, s.mHits)
+	w.Header().Set("Content-Type", contentType)
+	w.Write(diskcache.EncodeRecord(key, diskcache.EncodeEntry(e)))
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, store sta.TierStore, key string) {
+	s.puts.add(1, s.mPuts)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil || len(body) > maxRequestBytes {
+		s.corrupt.add(1, s.mCorrupt)
+		http.Error(w, "remotecache: unreadable or oversized frame", http.StatusBadRequest)
+		return
+	}
+	// The server re-runs the client's own end-to-end checks before storing:
+	// CRC over the frame, URL key == embedded key, decodable and valid
+	// entry. A record that fails any of them is counted and dropped — the
+	// shared tier must never launder a corrupt frame into a durable one.
+	gotKey, val, err := diskcache.DecodeRecord(body)
+	if err != nil || gotKey != key {
+		s.corrupt.add(1, s.mCorrupt)
+		http.Error(w, "remotecache: corrupt frame", http.StatusBadRequest)
+		return
+	}
+	e, err := diskcache.DecodeEntry(val)
+	if err != nil || !e.Valid() {
+		s.corrupt.add(1, s.mCorrupt)
+		http.Error(w, "remotecache: invalid entry", http.StatusBadRequest)
+		return
+	}
+	if store != nil {
+		store.Put(key, e)
+		s.stored.add(1, s.mStored)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// MemoryStores returns a StoreFor resolver backed by per-signature
+// MemoryTiers of the given capacity — the simplest shared-tier deployment
+// (one cache pod, no disk), and the rig the smoke tests use.
+func MemoryStores(capPerSig int) func(signature string) (sta.TierStore, error) {
+	var mu sync.Mutex
+	stores := map[string]*sta.MemoryTier{}
+	return func(signature string) (sta.TierStore, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		st, ok := stores[signature]
+		if !ok {
+			st = sta.NewMemoryTier(capPerSig)
+			stores[signature] = st
+		}
+		return st, nil
+	}
+}
