@@ -2,21 +2,24 @@
 # must pass: vet, build, the targeted observability race suite, the full
 # test suite under the race detector, the trace-export and ops-server
 # lifecycle smokes, the HTTP service smoke (200 + schema-valid response,
-# 429 backpressure under a flooded queue), a smoke run of the STA-parallel,
-# solver-kernel, observed-analyze, hot-path wide, incremental-reanalysis
-# and warm-disk-service benchmarks (plus the dated JSON snapshot), a
+# 429 backpressure under a flooded queue), the distributed-tracing smoke
+# (two replicas, one traced request, merged cross-process trace +
+# deterministic export), a smoke run of the STA-parallel, solver-kernel,
+# observed-analyze, hot-path wide, incremental-reanalysis and
+# warm-disk-service benchmarks (plus the dated JSON snapshot), a
 # small-budget differential-verification sweep, a small fault-injection
 # (chaos) sweep over every fault class, the incremental (ECO) edit-sequence
 # differential, the service-path differential (wire bit-transparency,
-# warm-disk restart, chaos through POST /analyze), and the remote-cache
-# gates: the two-replica shared-tier smoke plus the kill/restart race test
-# (remote-smoke) and the network-chaos differential (remote-chaos).
+# warm-disk restart, chaos through POST /analyze, trace determinism), and
+# the remote-cache gates: the two-replica shared-tier smoke plus the
+# kill/restart race tests — untraced and traced — (remote-smoke) and the
+# network-chaos differential (remote-chaos).
 
 GO ?= go
 
-.PHONY: ci vet build test race race-obs trace-smoke leak-check service-smoke bench bench-full bench-json verify verify-full chaos chaos-full eco eco-full service-verify remote-smoke remote-chaos
+.PHONY: ci vet build test race race-obs trace-smoke trace-smoke-distributed leak-check service-smoke bench bench-full bench-json bench-compare verify verify-full chaos chaos-full eco eco-full service-verify remote-smoke remote-chaos
 
-ci: vet build race-obs race trace-smoke leak-check service-smoke remote-smoke bench bench-json verify chaos eco service-verify remote-chaos
+ci: vet build race-obs race trace-smoke trace-smoke-distributed leak-check service-smoke remote-smoke bench bench-json verify chaos eco service-verify remote-chaos
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +49,13 @@ race-obs:
 # and 8.
 trace-smoke:
 	$(GO) test -run 'TestTraceDecoderSmoke|TestTraceDeterministicWorkersByteIdentical' -count=1 ./internal/sta/
+
+# Distributed-tracing smoke: replica A answers warm off replica B's cache
+# plane and the flight-recorded trace must contain spans from BOTH
+# processes (the merged cross-replica trace), plus the deterministic export
+# must be byte-identical at engine Workers 1 and 8.
+trace-smoke-distributed:
+	$(GO) test -race -run 'TestDistributedTraceMergesPeerSpan|TestTraceDeterministicAcrossWorkers|TestTraceEnvelopeAndRecorder' -count=1 ./internal/service/
 
 # Ops-server lifecycle gate: repeated Start/Shutdown cycles must join the
 # serve goroutine and leak nothing.
@@ -79,6 +89,22 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'WarmCacheLookup|AnalyzeObserved|STAWide|AnalyzeIncremental' -benchtime 1x -benchmem ./internal/sta/ ; \
 	  $(GO) test -run '^$$' -bench 'ServiceWarmDisk' -benchtime 1x -benchmem ./internal/service/ ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%F).json
+
+# Advisory benchmark regression report between the two most recent dated
+# snapshots (benchjson -compare). Never fails the build: the shared CI box
+# makes wall-clock deltas indicative, not contractual. Usage with explicit
+# files: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	@old="$(OLD)"; new="$(NEW)"; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+	  set -- $$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2); \
+	  old=$$1; new=$$2; \
+	fi; \
+	if [ -z "$$old" ] || [ -z "$$new" ] || [ "$$old" = "$$new" ]; then \
+	  echo "bench-compare: need two BENCH_*.json snapshots (have: $$old $$new)"; \
+	else \
+	  $(GO) run ./cmd/benchjson -compare -threshold 5 "$$old" "$$new" || true; \
+	fi
 
 # Small-budget differential verification: 25 seeded stage netlists checked
 # QWM-vs-SPICE, plus cached/uncached and serial/parallel equivalence (and
@@ -128,7 +154,7 @@ service-verify:
 # full memory→remote→disk chain survive the remote server being killed and
 # restarted mid-run without leaking a goroutine or moving a bit.
 remote-smoke:
-	$(GO) test -race -run 'TestTwoReplicasShareTier|TestChainKillRestartRace' -count=1 ./internal/sta/remotecache/
+	$(GO) test -race -run 'TestTwoReplicasShareTier|TestChainKillRestartRace|TestTracedGetMergesPeerSpan|TestTracedKillMidRequest' -count=1 ./internal/sta/remotecache/
 
 # Remote-cache differential: each network fault class (net-latency,
 # net-error, net-corrupt) at rate 0.2 must leave results bit-identical to a

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Comparison mode: `benchjson -compare OLD.json NEW.json` renders a
+// benchstat-style regression report over two previously captured documents.
+// Benchmarks are matched by full name; each matched row reports the old and
+// new ns/op, the delta in percent, and — past -threshold — a REGRESSION or
+// IMPROVEMENT verdict. Bytes/op and allocs/op deltas are reported when both
+// sides carry them. The exit status encodes the verdict (0 clean, 1 any
+// regression past threshold) so CI can consume it, though the repo wires it
+// advisory (`make bench-compare` never fails the build: one shared CI box
+// makes wall-clock comparisons indicative, not contractual).
+
+// compareRow is one matched benchmark in the report.
+type compareRow struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	DeltaPct   float64
+	AllocDelta string // "" when either side lacks allocs/op
+	ByteDelta  string
+	Verdict    string // "", "REGRESSION", "IMPROVEMENT"
+}
+
+// loadDoc reads one BENCH_*.json document.
+func loadDoc(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	return &doc, nil
+}
+
+// pct renders a signed percentage delta.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// intDelta renders "23 → 25 (+2)" for optional int64 metric pairs.
+func intDelta(old, new *int64) string {
+	if old == nil || new == nil {
+		return ""
+	}
+	return fmt.Sprintf("%d → %d (%+d)", *old, *new, *new-*old)
+}
+
+// compare builds the report rows plus the lists of benchmarks present on only
+// one side. threshold is the |delta %| past which a row gets a verdict.
+func compare(oldDoc, newDoc *Doc, threshold float64) (rows []compareRow, onlyOld, onlyNew []string) {
+	oldBy := map[string]Result{}
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]Result{}
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = b
+	}
+	for name, ob := range oldBy {
+		nb, ok := newBy[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		row := compareRow{
+			Name:       name,
+			OldNs:      ob.NsPerOp,
+			NewNs:      nb.NsPerOp,
+			DeltaPct:   pct(ob.NsPerOp, nb.NsPerOp),
+			AllocDelta: intDelta(ob.AllocsPerOp, nb.AllocsPerOp),
+			ByteDelta:  intDelta(ob.BytesPerOp, nb.BytesPerOp),
+		}
+		switch {
+		case row.DeltaPct > threshold:
+			row.Verdict = "REGRESSION"
+		case row.DeltaPct < -threshold:
+			row.Verdict = "IMPROVEMENT"
+		}
+		rows = append(rows, row)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}
+
+// humanNs renders a nanosecond quantity with an adaptive unit.
+func humanNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
+}
+
+// writeReport renders the comparison and reports whether any row regressed
+// past the threshold.
+func writeReport(w io.Writer, oldPath, newPath string, rows []compareRow, onlyOld, onlyNew []string, threshold float64) bool {
+	fmt.Fprintf(w, "benchjson compare: %s → %s (threshold ±%.1f%%)\n\n", oldPath, newPath, threshold)
+	nameW := len("benchmark")
+	for _, r := range rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %12s  %12s  %8s  %s\n", nameW, "benchmark", "old", "new", "delta", "verdict")
+	regressed := false
+	for _, r := range rows {
+		if r.Verdict == "REGRESSION" {
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-*s  %12s  %12s  %+7.1f%%  %s\n",
+			nameW, r.Name, humanNs(r.OldNs), humanNs(r.NewNs), r.DeltaPct, r.Verdict)
+		if r.AllocDelta != "" && strings.Contains(r.AllocDelta, "(+") {
+			fmt.Fprintf(w, "%-*s  allocs/op %s\n", nameW, "", r.AllocDelta)
+		}
+		if r.ByteDelta != "" && strings.Contains(r.ByteDelta, "(+") {
+			fmt.Fprintf(w, "%-*s  bytes/op  %s\n", nameW, "", r.ByteDelta)
+		}
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "%s: only in %s (removed?)\n", n, oldPath)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "%s: only in %s (new)\n", n, newPath)
+	}
+	return regressed
+}
+
+// runCompare is the -compare entry point; returns the process exit code.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	rows, onlyOld, onlyNew := compare(oldDoc, newDoc, threshold)
+	if writeReport(os.Stdout, oldPath, newPath, rows, onlyOld, onlyNew, threshold) {
+		return 1
+	}
+	return 0
+}

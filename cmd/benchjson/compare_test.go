@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func docs() (*Doc, *Doc) {
+	oldDoc := &Doc{Benchmarks: []Result{
+		{Name: "BenchmarkStable-8", NsPerOp: 1000, AllocsPerOp: i64(10), BytesPerOp: i64(512)},
+		{Name: "BenchmarkRegressed-8", NsPerOp: 1000, AllocsPerOp: i64(10)},
+		{Name: "BenchmarkImproved-8", NsPerOp: 2000},
+		{Name: "BenchmarkRemoved-8", NsPerOp: 100},
+	}}
+	newDoc := &Doc{Benchmarks: []Result{
+		{Name: "BenchmarkStable-8", NsPerOp: 1030, AllocsPerOp: i64(10), BytesPerOp: i64(512)},
+		{Name: "BenchmarkRegressed-8", NsPerOp: 1200, AllocsPerOp: i64(12)},
+		{Name: "BenchmarkImproved-8", NsPerOp: 1500},
+		{Name: "BenchmarkAdded-8", NsPerOp: 100},
+	}}
+	return oldDoc, newDoc
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	oldDoc, newDoc := docs()
+	rows, onlyOld, onlyNew := compare(oldDoc, newDoc, 5)
+
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	byName := map[string]compareRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkStable-8"]; r.Verdict != "" || r.DeltaPct != 3 {
+		t.Errorf("stable row: %+v (3%% is under the 5%% threshold)", r)
+	}
+	if r := byName["BenchmarkRegressed-8"]; r.Verdict != "REGRESSION" || r.DeltaPct != 20 {
+		t.Errorf("regressed row: %+v", r)
+	}
+	if r := byName["BenchmarkRegressed-8"]; !strings.Contains(r.AllocDelta, "(+2)") {
+		t.Errorf("alloc delta %q, want +2", r.AllocDelta)
+	}
+	if r := byName["BenchmarkImproved-8"]; r.Verdict != "IMPROVEMENT" || r.DeltaPct != -25 {
+		t.Errorf("improved row: %+v", r)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkRemoved-8" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkAdded-8" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+	// Rows are name-sorted for stable reports.
+	if rows[0].Name > rows[1].Name || rows[1].Name > rows[2].Name {
+		t.Errorf("rows unsorted: %v %v %v", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+}
+
+func TestCompareThresholdEdge(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Result{{Name: "B", NsPerOp: 100}}}
+	newDoc := &Doc{Benchmarks: []Result{{Name: "B", NsPerOp: 105}}}
+	// Exactly AT threshold is not a verdict; strictly past it is.
+	rows, _, _ := compare(oldDoc, newDoc, 5)
+	if rows[0].Verdict != "" {
+		t.Errorf("delta == threshold flagged: %+v", rows[0])
+	}
+	rows, _, _ = compare(oldDoc, newDoc, 4.9)
+	if rows[0].Verdict != "REGRESSION" {
+		t.Errorf("delta past threshold not flagged: %+v", rows[0])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	oldDoc, newDoc := docs()
+	rows, onlyOld, onlyNew := compare(oldDoc, newDoc, 5)
+	var buf bytes.Buffer
+	regressed := writeReport(&buf, "old.json", "new.json", rows, onlyOld, onlyNew, 5)
+	if !regressed {
+		t.Error("report with a REGRESSION row returned regressed=false")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"REGRESSION", "IMPROVEMENT",
+		"allocs/op 10 → 12 (+2)",
+		"BenchmarkRemoved-8: only in old.json",
+		"BenchmarkAdded-8: only in new.json",
+		"1µs", // humanNs renders 1000 ns adaptively
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A clean comparison is not regressed.
+	clean, _, _ := compare(oldDoc, oldDoc, 5)
+	if writeReport(&bytes.Buffer{}, "a", "b", clean, nil, nil, 5) {
+		t.Error("identical docs reported a regression")
+	}
+}
+
+func TestHumanNs(t *testing.T) {
+	cases := map[float64]string{
+		500:   "500ns",
+		1500:  "1.5µs",
+		2.5e6: "2.5ms",
+		3.2e9: "3.2s",
+	}
+	for ns, want := range cases {
+		if got := humanNs(ns); got != want {
+			t.Errorf("humanNs(%g) = %q, want %q", ns, got, want)
+		}
+	}
+}

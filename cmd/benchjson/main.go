@@ -10,6 +10,13 @@
 // "metrics", so downstream tooling — benchstat after a trivial re-render,
 // jq, a dashboard — can consume runs without scraping text. Lines that are
 // not benchmark results are ignored; a stream with no results is an error.
+//
+// A second mode compares two captured documents (see compare.go):
+//
+//	benchjson -compare -threshold 5 BENCH_old.json BENCH_new.json
+//
+// printing a benchstat-style report with per-benchmark ns/op deltas and a
+// REGRESSION/IMPROVEMENT verdict past the threshold; exit 1 on regression.
 package main
 
 import (
@@ -52,7 +59,16 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "write the JSON document to this file (default: stdout)")
+	cmp := flag.Bool("compare", false, "compare two JSON documents (OLD NEW) and print a benchstat-style regression report")
+	threshold := flag.Float64("threshold", 5, "with -compare, |ns/op delta %| past which a row is flagged REGRESSION/IMPROVEMENT")
 	flag.Parse()
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	var readers []io.Reader
 	if flag.NArg() == 0 {
 		readers = append(readers, os.Stdin)

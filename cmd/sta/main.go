@@ -301,15 +301,19 @@ func printQuantiles(snap obs.Snapshot) {
 // completed one-shot analysis AND the serving queue: 503 while the run's
 // diagnostics report degradation or the work queue is saturated.
 func serveOps(ops opsOptions, tech *mos.Tech, lib *devmodel.Library, workers int, reg *obs.Registry, recorder *obs.TraceRecorder, res *sta.Result) error {
+	build := obs.RegisterBuildInfo(reg)
+	flight := obs.NewFlightRecorder()
 	svc := service.New(tech, lib, service.Options{
 		CacheDir:        ops.cacheDir,
 		AnalyzerWorkers: workers,
 		Metrics:         reg,
+		Flight:          flight,
 	})
 	svcHandler := svc.Handler()
 	srv := &obs.Server{
 		Registry: reg,
 		Trace:    recorder,
+		Flight:   flight,
 		Health: func() (bool, string) {
 			if ok, detail := svc.Healthy(); !ok {
 				return false, detail
@@ -319,6 +323,11 @@ func serveOps(ops opsOptions, tech *mos.Tech, lib *devmodel.Library, workers int
 			}
 			return false, res.Diagnostics.String()
 		},
+		HealthDetail: func() map[string]any {
+			d := svc.HealthInfo()
+			d["build"] = build
+			return d
+		},
 		Extra: map[string]http.Handler{
 			"/analyze": svcHandler,
 			"/result/": svcHandler,
@@ -327,6 +336,7 @@ func serveOps(ops opsOptions, tech *mos.Tech, lib *devmodel.Library, workers int
 	bound, err := srv.Start(ops.serveAddr)
 	if err != nil {
 		svc.Close()
+		flight.Close()
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sta: serving on http://%s (POST /analyze, GET /result/, /metrics /healthz /trace /debug/vars /debug/pprof/); ctrl-c to stop\n", bound)
@@ -340,5 +350,6 @@ func serveOps(ops opsOptions, tech *mos.Tech, lib *devmodel.Library, workers int
 	if cerr := svc.Close(); err == nil {
 		err = cerr
 	}
+	flight.Close()
 	return err
 }

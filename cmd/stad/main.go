@@ -59,20 +59,23 @@ func main() {
 		analyzerW   = flag.Int("analyzer-workers", 0, "per-analysis stage-evaluation workers (0 = GOMAXPROCS)")
 		cacheListen = flag.String("cache-listen", "", "additionally serve this replica's delay cache to the fleet on this address (GET/PUT /tier/)")
 		remoteCache = flag.String("remote-cache", "", "base URL of a peer's -cache-listen endpoint to read through (memory → remote → disk)")
+		replica     = flag.String("replica", "", "replica name stamped on cache-plane trace spans (defaults to the listen address)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheBytes, *queueLen, *workers, *analyzerW, *cacheListen, *remoteCache); err != nil {
+	if err := run(*addr, *cacheDir, *cacheBytes, *queueLen, *workers, *analyzerW, *cacheListen, *remoteCache, *replica); err != nil {
 		fmt.Fprintln(os.Stderr, "stad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWorkers int, cacheListen, remoteCache string) error {
+func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWorkers int, cacheListen, remoteCache, replica string) error {
 	reg := obs.NewRegistry()
 	if !reg.Publish("stad") {
 		fmt.Fprintln(os.Stderr, `stad: expvar name "stad" already taken; /debug/vars will not show this registry`)
 	}
+	build := obs.RegisterBuildInfo(reg)
 	tech := mos.CMOSP35()
+	flight := obs.NewFlightRecorder()
 	svc := service.New(tech, devmodel.NewLibrary(tech), service.Options{
 		QueueLen:        queueLen,
 		Workers:         workers,
@@ -81,11 +84,18 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 		CacheBytes:      cacheBytes,
 		RemoteCache:     remoteCache,
 		Metrics:         reg,
+		Flight:          flight,
 	})
 	svcHandler := svc.Handler()
 	srv := &obs.Server{
 		Registry: reg,
 		Health:   svc.Healthy,
+		Flight:   flight,
+		HealthDetail: func() map[string]any {
+			d := svc.HealthInfo()
+			d["build"] = build
+			return d
+		},
 		Extra: map[string]http.Handler{
 			"/analyze": svcHandler,
 			"/result/": svcHandler,
@@ -94,6 +104,7 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 	bound, err := srv.Start(addr)
 	if err != nil {
 		svc.Close()
+		flight.Close()
 		return err
 	}
 	// The tier endpoint binds its own address so the fleet-internal cache
@@ -101,6 +112,10 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 	var cacheSrv *obs.Server
 	if cacheListen != "" {
 		tier := remotecache.NewServer(svc.TierStoreFor, reg)
+		tier.Name = replica
+		if tier.Name == "" {
+			tier.Name = cacheListen
+		}
 		cacheSrv = &obs.Server{
 			Registry: reg,
 			Extra:    map[string]http.Handler{"/tier/": tier.Handler()},
@@ -140,5 +155,7 @@ func run(addr, cacheDir string, cacheBytes int64, queueLen, workers, analyzerWor
 	if cerr := svc.Close(); err == nil {
 		err = cerr
 	}
+	// Flight recorder last: every handler that could Record has returned.
+	flight.Close()
 	return err
 }

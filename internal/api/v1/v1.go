@@ -265,6 +265,11 @@ type AnalyzeResponse struct {
 	Status        string         `json:"status"`
 	Result        *AnalyzeResult `json:"result,omitempty"`
 	Error         *Error         `json:"error,omitempty"`
+	// TraceID is the distributed-tracing correlation id of the request that
+	// produced this response, stamped only when the serving replica has
+	// request tracing enabled; fetch the span tree at /trace/request/{id}.
+	// Appended per the v1 append-only policy — absent on untraced replicas.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // OKResponse wraps a result in the success envelope.
@@ -306,6 +311,8 @@ type BatchResponse struct {
 	Total         int               `json:"total"`
 	Responses     []AnalyzeResponse `json:"responses,omitempty"`
 	Error         *Error            `json:"error,omitempty"`
+	// TraceID mirrors AnalyzeResponse.TraceID for the batch envelope.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // MetricsEnvelope is the versioned wrapper for metrics-registry dumps

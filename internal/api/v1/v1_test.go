@@ -106,6 +106,30 @@ func TestBatchGolden(t *testing.T) {
 	roundTrip(t, bresp, goldenResp)
 }
 
+// TestTraceIDGolden pins the trailing trace_id addition: present when a
+// traced server stamps it, absent from the wire otherwise (the existing
+// goldens above prove the absent case — they predate the field).
+func TestTraceIDGolden(t *testing.T) {
+	resp := AnalyzeResponse{
+		SchemaVersion: SchemaVersion,
+		ID:            "r1",
+		Status:        StatusOK,
+		TraceID:       "aaaabbbbccccddddaaaabbbbccccdddd",
+	}
+	const golden = `{"schema_version":"qwm.v1","id":"r1","status":"ok","trace_id":"aaaabbbbccccddddaaaabbbbccccdddd"}`
+	roundTrip(t, resp, golden)
+
+	bresp := BatchResponse{
+		SchemaVersion: SchemaVersion,
+		ID:            "b1",
+		Status:        StatusPending,
+		Total:         1,
+		TraceID:       "aaaabbbbccccddddaaaabbbbccccdddd",
+	}
+	const goldenBatch = `{"schema_version":"qwm.v1","id":"b1","status":"pending","completed":0,"total":1,"trace_id":"aaaabbbbccccddddaaaabbbbccccdddd"}`
+	roundTrip(t, bresp, goldenBatch)
+}
+
 func TestValidate(t *testing.T) {
 	if err := Validate(""); err != nil {
 		t.Fatalf("empty version must be accepted: %v", err)

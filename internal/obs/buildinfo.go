@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo returns the process's embedded build identity: the Go runtime
+// version, the main module path/version, and the VCS revision and dirty flag
+// when the binary was built from a checkout. Values the toolchain did not
+// embed are omitted.
+func BuildInfo() map[string]string {
+	out := map[string]string{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Path != "" {
+		out["module"] = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out["revision"] = s.Value
+		case "vcs.time":
+			out["build_time"] = s.Value
+		case "vcs.modified":
+			out["dirty"] = s.Value
+		}
+	}
+	return out
+}
+
+// RegisterBuildInfo publishes the build-info gauge on the registry — the
+// Prometheus info-metric idiom: a constant-1 gauge whose presence marks a
+// live process of this build (the detail strings travel via /healthz, which
+// serves BuildInfo itself; our gauges carry no labels). Returns the detail
+// map so callers can embed it in their health payloads.
+func RegisterBuildInfo(r *Registry) map[string]string {
+	r.Gauge("build/info").Set(1)
+	return BuildInfo()
+}

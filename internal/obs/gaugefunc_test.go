@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGaugeFuncSampledInSnapshot pins the fix for the stale queue-depth
+// gauge: a registered GaugeFunc is evaluated at Snapshot time and OVERRIDES
+// any same-name edge-maintained gauge, so a missed edge update (or a queue
+// that went idle-but-full) can never misreport.
+func TestGaugeFuncSampledInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	depth := int64(0)
+	r.GaugeFunc("service/queue/depth", func() int64 { return depth })
+	// Simulate a stale edge gauge disagreeing with reality.
+	r.Gauge("service/queue/depth").Set(99)
+	depth = 2 // the queue is actually stuck full at 2
+	if got := r.Snapshot().Gauges["service/queue/depth"]; got != 2 {
+		t.Errorf("snapshot gauge = %d, want sampled value 2 (edge said 99)", got)
+	}
+	depth = 0
+	if got := r.Snapshot().Gauges["service/queue/depth"]; got != 0 {
+		t.Errorf("snapshot gauge = %d, want sampled value 0", got)
+	}
+	// A GaugeFunc with no edge twin still appears.
+	r.GaugeFunc("service/standalone", func() int64 { return 7 })
+	if got := r.Snapshot().Gauges["service/standalone"]; got != 7 {
+		t.Errorf("standalone GaugeFunc gauge = %d, want 7", got)
+	}
+	// Nil-safety.
+	var nilReg *Registry
+	nilReg.GaugeFunc("x", func() int64 { return 1 })
+	r.GaugeFunc("y", nil)
+}
+
+// TestGaugeFuncMayCallRegistry guards against deadlock: Snapshot evaluates
+// sampler functions OUTSIDE the shard locks, so a sampler that itself reads
+// the registry must not hang.
+func TestGaugeFuncMayCallRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.GaugeFunc("derived", func() int64 { return r.Counter("c").Value() })
+	done := make(chan Snapshot, 1)
+	go func() { done <- r.Snapshot() }()
+	select {
+	case snap := <-done:
+		if snap.Gauges["derived"] != 3 {
+			t.Errorf("derived gauge = %d, want 3", snap.Gauges["derived"])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot deadlocked evaluating a registry-reading GaugeFunc")
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("service/http/time/latency/analyze", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "deadbeef01") // bucket 0
+	h.ObserveExemplar(0.5, "deadbeef02")  // bucket 1
+	h.ObserveExemplar(0.7, "deadbeef03")  // bucket 1, overwrites (last-writer-wins)
+	h.ObserveExemplar(0.9, "")            // empty exemplar degrades to a plain Observe
+
+	hs := r.Snapshot().Histograms["service/http/time/latency/analyze"]
+	if hs.Count != 4 {
+		t.Fatalf("count %d, want 4", hs.Count)
+	}
+	// Exemplars is parallel to Counts: one slot per bucket.
+	want := []string{"deadbeef01", "deadbeef03", ""}
+	if len(hs.Exemplars) != len(want) {
+		t.Fatalf("exemplars %v, want %v", hs.Exemplars, want)
+	}
+	for i := range want {
+		if hs.Exemplars[i] != want[i] {
+			t.Errorf("exemplar[%d] = %q, want %q", i, hs.Exemplars[i], want[i])
+		}
+	}
+	// The deterministic rendering strips exemplars (trace ids are random).
+	det := r.Snapshot().Deterministic()
+	if ex := det.Histograms["service/http/time/latency/analyze"].Exemplars; ex != nil {
+		t.Errorf("Deterministic() kept exemplars: %v", ex)
+	}
+	// A histogram that never saw an exemplar omits the field in JSON.
+	h2 := r.Histogram("plain", []float64{1})
+	h2.Observe(0.5)
+	b, err := json.Marshal(r.Snapshot().Histograms["plain"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "exemplars") {
+		t.Errorf("exemplar-free histogram serialized exemplars: %s", b)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	info := RegisterBuildInfo(r)
+	if r.Snapshot().Gauges["build/info"] != 1 {
+		t.Error("build/info gauge not set")
+	}
+	if info["go"] == "" {
+		t.Errorf("build info missing go version: %v", info)
+	}
+}
+
+// TestHealthzJSONDetail pins the /healthz JSON body: HealthDetail's map plus
+// "status", 503 + "detail" when degraded.
+func TestHealthzJSONDetail(t *testing.T) {
+	healthy := true
+	srv := &Server{
+		Health: func() (bool, string) {
+			if healthy {
+				return true, ""
+			}
+			return false, "2 breakers open"
+		},
+		HealthDetail: func() map[string]any {
+			return map[string]any{
+				"queue_depth":    1,
+				"queue_capacity": 64,
+				"workers":        2,
+				"open_breakers":  []string{},
+				"build":          map[string]string{"go": "go1.x"},
+			}
+		},
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func() (int, map[string]any) {
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type %q", ct)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("healthz body not JSON: %v\n%s", err, b)
+		}
+		return resp.StatusCode, m
+	}
+
+	code, m := get()
+	if code != 200 || m["status"] != "ok" {
+		t.Errorf("healthy: code %d, status %v", code, m["status"])
+	}
+	for _, key := range []string{"queue_depth", "queue_capacity", "workers", "open_breakers", "build"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("healthz body missing %q: %v", key, m)
+		}
+	}
+	if _, ok := m["detail"]; ok {
+		t.Error("healthy body carries a degraded detail line")
+	}
+
+	healthy = false
+	code, m = get()
+	if code != 503 || m["status"] != "degraded" || m["detail"] != "2 breakers open" {
+		t.Errorf("degraded: code %d, body %v", code, m)
+	}
+}

@@ -91,6 +91,11 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
 	count  atomic.Int64
 	sum    atomicFloat
+	// exemplars holds the most recent exemplar label (a trace ID) observed
+	// into each bucket, last-writer-wins. Allocated lazily by the first
+	// ObserveExemplar so plain histograms pay nothing.
+	exemplarMu sync.Mutex
+	exemplars  []string
 }
 
 // NewHistogram builds a histogram over the given strictly increasing upper
@@ -122,6 +127,31 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.add(v)
 }
 
+// ObserveExemplar records one value and attaches an exemplar label
+// (typically a trace ID) to the bucket it lands in, last-writer-wins. The
+// label lets a latency outlier in a histogram be followed straight to the
+// flight-recorded request that caused it. No-op label handling: an empty
+// exemplar degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, exemplar string) {
+	if h == nil {
+		return
+	}
+	if exemplar == "" {
+		h.Observe(v)
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.exemplarMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]string, len(h.counts))
+	}
+	h.exemplars[i] = exemplar
+	h.exemplarMu.Unlock()
+}
+
 // Bounds returns a copy of the bucket upper bounds.
 func (h *Histogram) Bounds() []float64 {
 	b := make([]float64, len(h.bounds))
@@ -140,6 +170,11 @@ func (h *Histogram) snapshot() HistSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	h.exemplarMu.Lock()
+	if h.exemplars != nil {
+		s.Exemplars = append([]string(nil), h.exemplars...)
+	}
+	h.exemplarMu.Unlock()
 	return s
 }
 
@@ -177,6 +212,7 @@ type regShard struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 }
 
@@ -186,6 +222,7 @@ func NewRegistry() *Registry {
 	for i := range r.shards {
 		r.shards[i].counters = map[string]*Counter{}
 		r.shards[i].gauges = map[string]*Gauge{}
+		r.shards[i].gaugeFns = map[string]func() int64{}
 		r.shards[i].hists = map[string]*Histogram{}
 	}
 	return r
@@ -249,6 +286,24 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a sampled gauge: fn is evaluated at every Snapshot and
+// its value written under name, overriding any edge-updated Gauge of the
+// same name. Edge-updated gauges go stale whenever a state transition
+// bypasses the instrumented edge (a queue that fills and then sits idle); a
+// sampled gauge reads the truth at snapshot time. fn must be safe for
+// concurrent use and must not touch the registry (it runs outside the shard
+// locks, but re-entrancy is a design smell). Re-registering a name replaces
+// the function. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	sh := r.shard(name)
+	sh.mu.Lock()
+	sh.gaugeFns[name] = fn
+	sh.mu.Unlock()
+}
+
 // Histogram returns the histogram registered under name, creating it with
 // the given bounds on first use. Re-registering an existing histogram with
 // different bounds panics: a name must mean one shape for Merge to be
@@ -289,6 +344,11 @@ type HistSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplars holds one trace-ID label per bucket (parallel to Counts),
+	// present only when ObserveExemplar was ever used on the histogram —
+	// plain histograms marshal exactly as before. Exemplars are inherently
+	// run-dependent and are stripped from Deterministic snapshots.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-quantile (q in [0, 1]) of the recorded
@@ -358,6 +418,11 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	type fnEntry struct {
+		name string
+		fn   func() int64
+	}
+	var fns []fnEntry
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.RLock()
@@ -370,10 +435,22 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			s.Gauges[name] = g.Value()
 		}
+		for name, fn := range sh.gaugeFns {
+			fns = append(fns, fnEntry{name, fn})
+		}
 		for name, h := range sh.hists {
 			s.Histograms[name] = h.snapshot()
 		}
 		sh.mu.RUnlock()
+	}
+	// Sampled gauges are evaluated outside the shard locks (a sampler is
+	// allowed to take its own locks) and override same-name edge gauges:
+	// the sampled value is the truth at snapshot time.
+	for _, e := range fns {
+		if s.Gauges == nil {
+			s.Gauges = map[string]int64{}
+		}
+		s.Gauges[e.name] = e.fn()
 	}
 	return s
 }
@@ -468,9 +545,17 @@ func (s Snapshot) Filter(keep func(name string) bool) Snapshot {
 }
 
 // Deterministic strips the timing metrics, leaving the subset that is
-// required to be bit-for-bit identical across worker counts.
+// required to be bit-for-bit identical across worker counts. Histogram
+// exemplars (trace IDs — random per run) are stripped too.
 func (s Snapshot) Deterministic() Snapshot {
-	return s.Filter(func(name string) bool { return !IsTiming(name) })
+	out := s.Filter(func(name string) bool { return !IsTiming(name) })
+	for name, h := range out.Histograms {
+		if h.Exemplars != nil {
+			h.Exemplars = nil
+			out.Histograms[name] = h
+		}
+	}
+	return out
 }
 
 // JSON marshals the snapshot with sorted keys and stable indentation.

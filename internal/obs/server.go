@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -34,6 +35,16 @@ type Server struct {
 	// Trace backs /trace. Nil (or an empty recorder) responds 404 until an
 	// analysis has been recorded.
 	Trace *TraceRecorder
+	// Flight backs the request-trace surface: /debug/requests (retained
+	// request listing) and /trace/request/{id} (per-request Chrome trace).
+	// Nil leaves both routes unmounted.
+	Flight *FlightRecorder
+	// HealthDetail, when set, switches /healthz to a JSON body: the returned
+	// map (queue depth, worker count, open breakers, build info — whatever
+	// the process wants probes and humans to see) plus "status" and, when
+	// degraded, "detail" from Health. Nil keeps the legacy one-line text
+	// body.
+	HealthDetail func() map[string]any
 	// Extra maps additional route patterns to handlers mounted on the same
 	// mux — how the analysis front door (internal/service: /analyze,
 	// /result/) shares one listener with the ops surface. Patterns here must
@@ -54,6 +65,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/trace", s.handleTrace)
+	if s.Flight != nil {
+		mux.HandleFunc("/debug/requests", s.Flight.handleRequests)
+		mux.HandleFunc("/trace/request/", s.Flight.handleRequestTrace)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -80,6 +95,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 /debug/vars     expvar
 /debug/pprof/   pprof profiles
 `)
+	if s.Flight != nil {
+		fmt.Fprint(w, `/debug/requests       flight-recorded request traces (HTML; ?format=json)
+/trace/request/{id}   one request as Chrome trace-event JSON (?deterministic=1)
+`)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -92,7 +112,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	ok, detail := true, "ok"
 	if s.Health != nil {
 		ok, detail = s.Health()
@@ -100,6 +119,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			detail = "ok"
 		}
 	}
+	if s.HealthDetail != nil {
+		body := s.HealthDetail()
+		if body == nil {
+			body = map[string]any{}
+		}
+		if ok {
+			body["status"] = "ok"
+		} else {
+			body["status"] = "degraded"
+			body["detail"] = detail
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !ok {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "degraded: %s\n", detail)

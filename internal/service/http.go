@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"qwm/internal/api/v1"
+	"qwm/internal/obs"
 )
 
 // maxBodyBytes bounds one POST body. Netlists are text; 8 MiB is far above
@@ -18,13 +19,15 @@ import (
 // the process.
 const maxBodyBytes = 8 << 20
 
-// Handler returns the service mux: POST /analyze and GET /result/{id}.
+// Handler returns the service mux: POST /analyze and GET /result/{id},
+// wrapped in the RED-metrics / request-tracing middleware when Options
+// configured either (see trace.go; without both the mux is returned bare).
 // Mount it alongside an obs.Server handler for the full serving surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/result/", s.handleResult)
-	return mux
+	return s.instrument(mux)
 }
 
 // httpStatus maps a v1 response to its transport status. The wire envelope
@@ -121,6 +124,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	<-b.done
 	resp := b.responses[0]
+	resp.TraceID = obs.TraceIDFrom(r.Context())
 	writeJSON(w, httpStatus(resp), resp)
 }
 
@@ -176,11 +180,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, body []byte
 			ID:            b.id,
 			Status:        v1.StatusPending,
 			Total:         b.total,
+			TraceID:       obs.TraceIDFrom(r.Context()),
 		})
 		return
 	}
 	<-b.done
-	writeJSON(w, http.StatusOK, batchResponse(b))
+	bresp := batchResponse(b)
+	bresp.TraceID = obs.TraceIDFrom(r.Context())
+	writeJSON(w, http.StatusOK, bresp)
 }
 
 // batchResponse renders a COMPLETED batch.

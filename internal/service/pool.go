@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -177,8 +178,11 @@ func sigDirName(sig string) string {
 
 // analyze executes one wire request end to end: validate, parse, route to a
 // pooled (or, for chaos, throwaway) analyzer, convert the result. All
-// failures come back as v1 error envelopes; nothing panics the worker.
-func (s *Server) analyze(req v1.AnalyzeRequest) v1.AnalyzeResponse {
+// failures come back as v1 error envelopes; nothing panics the worker. ctx
+// carries the request's trace reference when the request is traced (nil is
+// fine: it reaches AnalyzeContext, which treats nil as Background) — it is
+// NOT a cancellation signal; shedding happens at dequeue.
+func (s *Server) analyze(ctx context.Context, req v1.AnalyzeRequest) v1.AnalyzeResponse {
 	if err := v1.Validate(req.SchemaVersion); err != nil {
 		return v1.ErrorResponse(req.ID, v1.CodeInvalidRequest, err.Error())
 	}
@@ -246,7 +250,7 @@ func (s *Server) analyze(req v1.AnalyzeRequest) v1.AnalyzeResponse {
 		outputs[i] = circuit.CanonName(o)
 	}
 
-	res, err := analyzer.AnalyzeContext(nil, sta.Request{
+	res, err := analyzer.AnalyzeContext(ctx, sta.Request{
 		Netlist: deck.Netlist,
 		Primary: primary,
 		Outputs: outputs,

@@ -24,8 +24,10 @@ package service
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qwm/internal/api/v1"
 	"qwm/internal/devmodel"
@@ -66,6 +68,12 @@ type Options struct {
 	// Metrics, when set, receives the service counters (service/...), the
 	// engine's per-analyze aggregates and the disk tier's counters.
 	Metrics *obs.Registry
+	// Flight, when set, turns on request tracing: every /analyze request is
+	// traced end to end (admission → worker → engine → cache tiers → remote
+	// peer) and the completed trace is retained by the flight recorder for
+	// /debug/requests and /trace/request/{id}. nil keeps the hot path
+	// entirely untraced.
+	Flight *obs.FlightRecorder
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +177,12 @@ func New(tech *mos.Tech, lib *devmodel.Library, opts Options) *Server {
 			analyzers:  map[string]*pooledAnalyzer{},
 		},
 	}
+	// The queue-depth gauge is edge-updated on enqueue/dequeue; the sampler
+	// re-reads the live depth at every snapshot so an idle-but-full queue
+	// (workers wedged, nothing moving) still reads truthfully.
+	opts.Metrics.GaugeFunc("service/queue/depth", func() int64 {
+		return int64(s.queue.queuedDepth())
+	})
 	r := opts.Metrics
 	s.mRequests = r.Counter("service/requests")
 	s.mBatches = r.Counter("service/batches")
@@ -201,11 +215,38 @@ func (s *Server) worker() {
 				"client disconnected before analysis started"))
 			continue
 		}
-		resp := s.analyze(j.req)
+		// Traced requests get a worker span and a derived engine context. The
+		// derived context is Background-rooted on purpose: engine cancellation
+		// semantics are owned by the dequeue shed above, and a traced request
+		// must behave identically to an untraced one.
+		ref, traced := obs.TraceFrom(j.ctx)
+		var (
+			ctx    context.Context
+			wID    string
+			wStart time.Time
+		)
+		if traced {
+			wID = fmt.Sprintf("%s.j%d", ref.Parent, j.idx)
+			wStart = time.Now()
+			ctx = obs.ContextWithTrace(context.Background(), obs.TraceRef{
+				T: ref.T, Parent: wID, Level: obs.LevelWorker, Item: j.idx,
+			})
+		}
+		resp := s.analyze(ctx, j.req)
 		if resp.Status == v1.StatusOK {
 			s.mOK.Inc()
 		} else {
 			s.mErr.Inc()
+		}
+		if traced {
+			// Recorded BEFORE batch.complete: the root span's Finish happens
+			// strictly after every job span of a synchronous request.
+			ref.T.Add(obs.ReqSpan{
+				ID: wID, Parent: ref.Parent, Name: "worker",
+				Level: obs.LevelWorker, Item: j.idx,
+				Start: wStart, Dur: time.Since(wStart),
+				Attrs: map[string]any{"status": string(resp.Status)},
+			})
 		}
 		j.batch.complete(j.idx, resp)
 	}
@@ -227,7 +268,21 @@ func (s *Server) admit(ctx context.Context, reqs []v1.AnalyzeRequest, async bool
 	for i, r := range reqs {
 		jobs[i] = &job{ctx: ctx, req: r, idx: i, batch: b}
 	}
-	if !s.queue.tryPush(jobs) {
+	ref, traced := obs.TraceFrom(ctx)
+	var aStart time.Time
+	if traced {
+		aStart = time.Now()
+	}
+	admitted := s.queue.tryPush(jobs)
+	if traced {
+		ref.T.Add(obs.ReqSpan{
+			ID: ref.Parent + ".enqueue", Parent: ref.Parent, Name: "enqueue",
+			Level: obs.LevelAdmit, Item: 0,
+			Start: aStart, Dur: time.Since(aStart),
+			Attrs: map[string]any{"requests": len(reqs), "admitted": admitted},
+		})
+	}
+	if !admitted {
 		s.mShed.Inc()
 		return nil
 	}
@@ -307,6 +362,26 @@ func (s *Server) Healthy() (bool, string) {
 		return true, fmt.Sprintf("ok (remote cache degraded: %d breaker(s) not closed)", open)
 	}
 	return true, "ok"
+}
+
+// HealthInfo reports the live serving state for the /healthz JSON body:
+// truthful queue depth and capacity, worker count, and the signatures whose
+// remote-cache breakers are not closed (sorted; empty slice when the remote
+// tier is healthy or absent).
+func (s *Server) HealthInfo() map[string]any {
+	open := []string{}
+	for sig, st := range s.pool.breakerStates() {
+		if st != remotecache.BreakerClosed {
+			open = append(open, sig)
+		}
+	}
+	sort.Strings(open)
+	return map[string]any{
+		"queue_depth":    s.queue.queuedDepth(),
+		"queue_capacity": s.opts.QueueLen,
+		"workers":        s.opts.Workers,
+		"open_breakers":  open,
+	}
 }
 
 // Close stops the workers (in-flight analyses run to completion), then

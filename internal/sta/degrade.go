@@ -8,6 +8,7 @@ import (
 
 	"qwm/internal/circuit"
 	"qwm/internal/faultinject"
+	"qwm/internal/obs"
 	"qwm/internal/qwm"
 	"qwm/internal/reduce"
 	"qwm/internal/spice"
@@ -88,12 +89,16 @@ type EvalBudget struct {
 	Wall time.Duration
 }
 
-// evalEnv carries the per-request evaluation configuration (budget and
-// fault injector) from AnalyzeContext into the worker-side ladder. One env
-// is shared read-only by every worker of an Analyze.
+// evalEnv carries the per-request evaluation configuration (budget, fault
+// injector and — for traced requests — the trace reference) from
+// AnalyzeContext into the worker-side ladder. One env is shared read-only by
+// every worker of an Analyze.
 type evalEnv struct {
 	budget EvalBudget
 	fault  *faultinject.Injector
+	// trace is the request's trace handle; trace.T == nil (the untraced
+	// default) keeps every tracing branch off the hot path.
+	trace obs.TraceRef
 }
 
 // qwmOpts assembles the solver options for one QWM tier attempt: the

@@ -354,6 +354,9 @@ func (s *Store) scanSegment(id int, active bool) (*segment, error) {
 	return &segment{id: id, f: f, size: good}, nil
 }
 
+// TierName implements the optional naming interface traced tier probes use.
+func (s *Store) TierName() string { return "disk" }
+
 // Get implements sta.TierStore: a read-through probe. Any failure — missing
 // key, short read, CRC mismatch, undecodable or invalid entry — is a miss.
 func (s *Store) Get(key string) (sta.TierEntry, bool) {

@@ -157,8 +157,17 @@ func (p *cpair) value() int64                { return p.c.Value() }
 type putReq struct {
 	key string
 	rec []byte
+	tp  string        // traceparent header for the async PUT ("" untraced)
 	ack chan struct{} // Flush barrier when non-nil; carries no data
 }
+
+// Trace propagation headers: the client stamps outbound requests with the
+// W3C-style traceparent, and the peer's cache plane answers with one encoded
+// child span (see obs.PeerSpan) the client re-parents into the live trace.
+const (
+	traceparentHeader = "Traceparent"
+	peerSpanHeader    = "Qwm-Span"
+)
 
 // Client is a fault-tolerant remote TierStore bound to one (server, result
 // signature) pair. It satisfies sta.TierStore; a nil *Client is a valid
@@ -244,10 +253,27 @@ func (c *Client) Stats() Stats {
 	}
 }
 
+// TierName implements the optional naming interface traced tier probes use.
+func (c *Client) TierName() string { return "remote" }
+
 // Get implements sta.TierStore: a read-through probe whose every failure
 // mode — suppressed by the breaker, timed out, transport error, corrupt
 // frame — is a miss, never an error.
 func (c *Client) Get(key string) (sta.TierEntry, bool) {
+	return c.getTraced(key, obs.TraceRef{})
+}
+
+// GetCtx is the context-aware Get traced tier probes prefer: when the context
+// carries a trace reference, every network attempt becomes a child span, the
+// outbound request is stamped with the traceparent header, and a peer-recorded
+// span returned in the response header is merged into the same trace.
+// Fault-tolerance behaviour is identical to Get.
+func (c *Client) GetCtx(ctx context.Context, key string) (sta.TierEntry, bool) {
+	ref, _ := obs.TraceFrom(ctx)
+	return c.getTraced(key, ref)
+}
+
+func (c *Client) getTraced(key string, ref obs.TraceRef) (sta.TierEntry, bool) {
 	if c == nil {
 		return sta.TierEntry{}, false
 	}
@@ -255,9 +281,18 @@ func (c *Client) Get(key string) (sta.TierEntry, bool) {
 	if !proceed {
 		c.fastfails.add(1, c.mFastfails)
 		c.misses.add(1, c.mMisses)
+		if ref.T != nil {
+			// The breaker suppressed the probe entirely; record a zero-cost
+			// span so the trace shows WHY the remote tier went unconsulted.
+			ref.T.Add(obs.ReqSpan{
+				ID: ref.Parent + ".a0", Parent: ref.Parent, Name: "remote get",
+				Level: ref.Level, Item: ref.Item, Start: time.Now(),
+				Attrs: map[string]any{"attempt": 0, "outcome": "breaker-open"},
+			})
+		}
 		return sta.TierEntry{}, false
 	}
-	e, ok, err := c.fetch(key)
+	e, ok, err := c.fetch(key, ref)
 	if err != nil {
 		c.br.failure(probe)
 		c.misses.add(1, c.mMisses)
@@ -281,10 +316,10 @@ var errInjected = errors.New("remotecache: injected network error")
 // nil. Corruption is deliberately not retried: the frame made it across the
 // transport, and hammering the peer for a bad record would amplify exactly
 // the failure the CRC already contained.
-func (c *Client) fetch(key string) (sta.TierEntry, bool, error) {
+func (c *Client) fetch(key string, ref obs.TraceRef) (sta.TierEntry, bool, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		e, ok, err := c.attempt(key)
+		e, ok, err := c.attempt(key, ref, attempt)
 		if err == nil {
 			return e, ok, nil
 		}
@@ -334,9 +369,51 @@ func hash64(key string, salt uint64) uint64 {
 	return h
 }
 
-// attempt performs one deadline-bounded round trip. Error return means
-// transport failure (retryable); (zero, false, nil) is a definitive miss.
-func (c *Client) attempt(key string) (sta.TierEntry, bool, error) {
+// attempt performs one deadline-bounded round trip, recording it as a span
+// when the request is traced: the outbound GET carries the traceparent for
+// the attempt's semantic span ID ("<probe>.a<n>"), and a peer span returned
+// in the response header is re-parented under the attempt.
+func (c *Client) attempt(key string, ref obs.TraceRef, n int) (sta.TierEntry, bool, error) {
+	if ref.T == nil {
+		e, ok, _, err := c.roundTrip(key, "")
+		return e, ok, err
+	}
+	attID := fmt.Sprintf("%s.a%d", ref.Parent, n)
+	start := time.Now()
+	e, ok, peer, err := c.roundTrip(key, obs.FormatTraceparent(ref.T.TraceID, attID))
+	outcome := "miss"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case ok:
+		outcome = "hit"
+	}
+	ref.T.Add(obs.ReqSpan{
+		ID: attID, Parent: ref.Parent, Name: "remote get",
+		Level: ref.Level, Item: ref.Item,
+		Start: start, Dur: time.Since(start),
+		Attrs: map[string]any{"attempt": n, "outcome": outcome},
+	})
+	if ps, good := obs.DecodePeerSpan(peer); good {
+		attrs := make(map[string]any, len(ps.Attrs))
+		for k, v := range ps.Attrs {
+			attrs[k] = v
+		}
+		ref.T.Add(obs.ReqSpan{
+			ID: attID + ".peer", Parent: attID,
+			Name: ps.Name, Process: ps.Process,
+			Level: ref.Level, Item: ref.Item,
+			Start: start, Dur: time.Duration(ps.DurUS * float64(time.Microsecond)),
+			Attrs: attrs,
+		})
+	}
+	return e, ok, err
+}
+
+// roundTrip is one raw HTTP exchange. Error return means transport failure
+// (retryable); (zero, false, nil) is a definitive miss. peerSpan is the
+// encoded Qwm-Span response header, "" when absent.
+func (c *Client) roundTrip(key, traceparent string) (_ sta.TierEntry, _ bool, peerSpan string, _ error) {
 	fault := c.opts.Fault
 	// Fault site net-latency: a slow peer. Pure latency — the request still
 	// completes, and results must be bit-for-bit unaffected.
@@ -345,42 +422,46 @@ func (c *Client) attempt(key string) (sta.TierEntry, bool, error) {
 	// mid-flight partition). Keyed by cache key, so retries of the same key
 	// deterministically fail too — the tier must degrade to a miss.
 	if fault.Fire(faultinject.NetError, key) {
-		return sta.TierEntry{}, false, errInjected
+		return sta.TierEntry{}, false, "", errInjected
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(key), nil)
 	if err != nil {
-		return sta.TierEntry{}, false, err
+		return sta.TierEntry{}, false, "", err
+	}
+	if traceparent != "" {
+		req.Header.Set(traceparentHeader, traceparent)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
 			c.timeouts.add(1, c.mTimeouts)
 		}
-		return sta.TierEntry{}, false, err
+		return sta.TierEntry{}, false, "", err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	peerSpan = resp.Header.Get(peerSpanHeader)
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
-		return sta.TierEntry{}, false, nil // completed round trip, definitive miss
+		return sta.TierEntry{}, false, peerSpan, nil // completed round trip, definitive miss
 	case resp.StatusCode != http.StatusOK:
-		return sta.TierEntry{}, false, fmt.Errorf("remotecache: GET %s: status %d", key, resp.StatusCode)
+		return sta.TierEntry{}, false, peerSpan, fmt.Errorf("remotecache: GET %s: status %d", key, resp.StatusCode)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
 		if ctx.Err() != nil {
 			c.timeouts.add(1, c.mTimeouts)
 		}
-		return sta.TierEntry{}, false, err
+		return sta.TierEntry{}, false, peerSpan, err
 	}
 	if len(body) > maxResponseBytes {
 		c.corrupt.add(1, c.mCorrupt)
-		return sta.TierEntry{}, false, nil
+		return sta.TierEntry{}, false, peerSpan, nil
 	}
 	// Fault site net-corrupt: a flipped bit on the wire. The CRC must catch
 	// it and serve a counted miss, never a wrong timing.
@@ -393,20 +474,36 @@ func (c *Client) attempt(key string) (sta.TierEntry, bool, error) {
 	gotKey, val, err := diskcache.DecodeRecord(body)
 	if err != nil || gotKey != key {
 		c.corrupt.add(1, c.mCorrupt)
-		return sta.TierEntry{}, false, nil
+		return sta.TierEntry{}, false, peerSpan, nil
 	}
 	e, err := diskcache.DecodeEntry(val)
 	if err != nil || !e.Valid() {
 		c.corrupt.add(1, c.mCorrupt)
-		return sta.TierEntry{}, false, nil
+		return sta.TierEntry{}, false, peerSpan, nil
 	}
-	return e, true, nil
+	return e, true, peerSpan, nil
 }
 
 // Put implements sta.TierStore: write-behind, lossy under pressure and
 // while the breaker is open. The frame is encoded on the caller's goroutine
 // (cheap and allocation-bounded) so a dropped put costs no network work.
 func (c *Client) Put(key string, e sta.TierEntry) {
+	c.putTraced(key, e, "")
+}
+
+// PutCtx is the context-aware Put: when the context carries a trace
+// reference, the traceparent for the caller's put span is captured into the
+// queued request and stamped on the asynchronous PUT — the peer can correlate
+// the write, but (the put being write-behind) no span is merged back.
+func (c *Client) PutCtx(ctx context.Context, key string, e sta.TierEntry) {
+	tp := ""
+	if ref, ok := obs.TraceFrom(ctx); ok {
+		tp = obs.FormatTraceparent(ref.T.TraceID, ref.Parent)
+	}
+	c.putTraced(key, e, tp)
+}
+
+func (c *Client) putTraced(key string, e sta.TierEntry, tp string) {
 	if c == nil {
 		return
 	}
@@ -419,7 +516,7 @@ func (c *Client) Put(key string, e sta.TierEntry) {
 	}
 	rec := diskcache.EncodeRecord(key, diskcache.EncodeEntry(e))
 	select {
-	case c.queue <- putReq{key: key, rec: rec}:
+	case c.queue <- putReq{key: key, rec: rec, tp: tp}:
 	case <-c.done:
 		c.dropped.add(1, c.mDropped)
 	default:
@@ -480,6 +577,9 @@ func (c *Client) send(req putReq) {
 		return
 	}
 	hreq.Header.Set("Content-Type", contentType)
+	if req.tp != "" {
+		hreq.Header.Set(traceparentHeader, req.tp)
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		if ctx.Err() != nil {

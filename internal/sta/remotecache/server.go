@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"qwm/internal/obs"
 	"qwm/internal/sta"
@@ -50,6 +51,10 @@ type Server struct {
 	// typically creating it on first use. An error refuses the namespace
 	// (500); a nil store with nil error serves misses and drops puts.
 	StoreFor func(signature string) (sta.TierStore, error)
+
+	// Name identifies this replica in peer spans (the Process field of the
+	// Qwm-Span a traced request receives back). "" reads as "cache-plane".
+	Name string
 
 	gets, hits, misses, puts, stored, corrupt, badreq cpair
 	mGets, mHits, mMisses, mPuts, mStored, mCorrupt,
@@ -121,11 +126,18 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "remotecache: namespace unavailable", http.StatusInternalServerError)
 		return
 	}
+	// A valid traceparent marks the request as traced: the handler answers
+	// with one encoded child span in the Qwm-Span header (set before any
+	// body write), which the calling replica merges into its live trace.
+	traced := false
+	if tp := r.Header.Get(traceparentHeader); tp != "" {
+		_, _, traced = obs.ParseTraceparent(tp)
+	}
 	switch r.Method {
 	case http.MethodGet:
-		s.handleGet(w, store, key)
+		s.handleGet(w, store, key, traced)
 	case http.MethodPut:
-		s.handlePut(w, r, store, key)
+		s.handlePut(w, r, store, key, traced)
 	default:
 		s.badreq.add(1, s.mBadreq)
 		w.Header().Set("Allow", "GET, PUT")
@@ -133,15 +145,43 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, store sta.TierStore, key string) {
-	s.gets.add(1, s.mGets)
-	if store == nil {
-		s.misses.add(1, s.mMisses)
-		http.Error(w, "miss", http.StatusNotFound)
-		return
+// setPeerSpan encodes the replica-side span into the response header. It must
+// run before the first status or body write.
+func (s *Server) setPeerSpan(w http.ResponseWriter, name string, dur time.Duration, op, outcome string) {
+	proc := s.Name
+	if proc == "" {
+		proc = "cache-plane"
 	}
-	e, ok := store.Get(key)
-	if !ok || !e.Valid() {
+	v := obs.EncodePeerSpan(obs.PeerSpan{
+		Name:    name,
+		Process: proc,
+		DurUS:   float64(dur) / float64(time.Microsecond),
+		Attrs:   map[string]string{"op": op, "outcome": outcome},
+	})
+	if v != "" {
+		w.Header().Set(peerSpanHeader, v)
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, store sta.TierStore, key string, traced bool) {
+	s.gets.add(1, s.mGets)
+	start := time.Now()
+	var (
+		e  sta.TierEntry
+		ok bool
+	)
+	if store != nil {
+		e, ok = store.Get(key)
+	}
+	hit := ok && e.Valid()
+	if traced {
+		outcome := "miss"
+		if hit {
+			outcome = "hit"
+		}
+		s.setPeerSpan(w, "cache-plane get", time.Since(start), "get", outcome)
+	}
+	if !hit {
 		s.misses.add(1, s.mMisses)
 		http.Error(w, "miss", http.StatusNotFound)
 		return
@@ -151,12 +191,19 @@ func (s *Server) handleGet(w http.ResponseWriter, store sta.TierStore, key strin
 	w.Write(diskcache.EncodeRecord(key, diskcache.EncodeEntry(e)))
 }
 
-func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, store sta.TierStore, key string) {
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, store sta.TierStore, key string, traced bool) {
 	s.puts.add(1, s.mPuts)
+	start := time.Now()
+	fail := func(msg string) {
+		s.corrupt.add(1, s.mCorrupt)
+		if traced {
+			s.setPeerSpan(w, "cache-plane put", time.Since(start), "put", "corrupt")
+		}
+		http.Error(w, msg, http.StatusBadRequest)
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 	if err != nil || len(body) > maxRequestBytes {
-		s.corrupt.add(1, s.mCorrupt)
-		http.Error(w, "remotecache: unreadable or oversized frame", http.StatusBadRequest)
+		fail("remotecache: unreadable or oversized frame")
 		return
 	}
 	// The server re-runs the client's own end-to-end checks before storing:
@@ -165,19 +212,22 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, store sta.Tie
 	// shared tier must never launder a corrupt frame into a durable one.
 	gotKey, val, err := diskcache.DecodeRecord(body)
 	if err != nil || gotKey != key {
-		s.corrupt.add(1, s.mCorrupt)
-		http.Error(w, "remotecache: corrupt frame", http.StatusBadRequest)
+		fail("remotecache: corrupt frame")
 		return
 	}
 	e, err := diskcache.DecodeEntry(val)
 	if err != nil || !e.Valid() {
-		s.corrupt.add(1, s.mCorrupt)
-		http.Error(w, "remotecache: invalid entry", http.StatusBadRequest)
+		fail("remotecache: invalid entry")
 		return
 	}
+	outcome := "dropped"
 	if store != nil {
 		store.Put(key, e)
 		s.stored.add(1, s.mStored)
+		outcome = "stored"
+	}
+	if traced {
+		s.setPeerSpan(w, "cache-plane put", time.Since(start), "put", outcome)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -156,6 +156,19 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, req Request) (res *Result
 	if observer == nil {
 		observer = a.Observer
 	}
+	// Distributed tracing: a trace reference on the context (minted by the
+	// service front door) bridges the Observer span stream into the request's
+	// trace tree and arms traced tier probing (env.trace). The untraced path
+	// pays exactly one context Value lookup.
+	if ref, ok := obs.TraceFrom(ctx); ok {
+		bridge := obs.NewTraceBridge(ref)
+		if observer != nil {
+			observer = obs.Multi{observer, bridge}
+		} else {
+			observer = bridge
+		}
+		env.trace = obs.TraceRef{T: ref.T, Parent: bridge.AnalyzeID(), Level: ref.Level, Item: ref.Item}
+	}
 	rec := a.newRecorder(observer)
 	if rec != nil {
 		totalItems := 0

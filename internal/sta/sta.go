@@ -565,7 +565,7 @@ func (a *Analyzer) lookupOrEval(key []byte, it *workItem, env *evalEnv, inSlew f
 	// entry — every close(e.ready) path below runs exactly once, so a
 	// cancelled or corrupt store can never strand followers.
 	if a.Tier != nil {
-		if te, ok := a.Tier.Get(ks); ok && te.Valid() {
+		if te, ok := a.tierGet(env, it, ks); ok && te.Valid() {
 			e.val = te.timing()
 			close(e.ready)
 			return e.val, false
@@ -584,7 +584,7 @@ func (a *Analyzer) lookupOrEval(key []byte, it *workItem, env *evalEnv, inSlew f
 	close(e.ready)
 	// Write-behind AFTER ready is closed: followers never wait on the store.
 	if a.Tier != nil {
-		a.Tier.Put(ks, tierEntryOf(e.val))
+		a.tierPut(env, it, ks, tierEntryOf(e.val))
 	}
 	return e.val, true
 }

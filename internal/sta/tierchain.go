@@ -96,6 +96,9 @@ func NewMemoryTier(capN int) *MemoryTier {
 	return &MemoryTier{capN: capN, m: make(map[string]TierEntry, capN)}
 }
 
+// TierName implements the optional naming interface traced tier probes use.
+func (t *MemoryTier) TierName() string { return "memory" }
+
 // Get implements TierStore.
 func (t *MemoryTier) Get(key string) (TierEntry, bool) {
 	if t == nil {

@@ -182,6 +182,7 @@ func RunService(cfg ServiceConfig) (*ServiceReport, error) {
 	add(restart)
 	add(runServiceChaosCell("chaos-cache-stall", req, cfg, true))
 	add(runServiceChaosCell("chaos-budget-exhaustion", req, cfg, false))
+	add(runServiceTraceCell(tech, lib, req, cfg))
 
 	rep.Pass = rep.Failures == 0
 	return rep, nil
@@ -292,6 +293,52 @@ func runServiceRestartCell(tech *mos.Tech, lib *devmodel.Library, cacheDir strin
 			fmt.Sprintf("warm-disk hit rate %.3f (%d hits, %d misses), want >= 0.9", rate, hits, misses))
 	}
 	return cell, rate
+}
+
+// runServiceTraceCell gates the tracing determinism contract through the
+// front door: the same traced request, analyzed on fresh replicas at engine
+// workers 1 and 8, must export byte-identical DETERMINISTIC traces (semantic
+// span IDs plus the (Level, Item, ID) sort make scheduling invisible), and
+// the response envelope must carry the trace id that retrieves the trace.
+func runServiceTraceCell(tech *mos.Tech, lib *devmodel.Library, req v1.AnalyzeRequest, cfg ServiceConfig) ServiceCell {
+	cell := ServiceCell{Name: "trace-deterministic"}
+	export := func(workers int) []byte {
+		fl := obs.NewFlightRecorder()
+		defer fl.Close()
+		s := service.New(tech, lib, service.Options{AnalyzerWorkers: workers, Flight: fl})
+		defer s.Close()
+		code, body := postAnalyze(s.Handler(), req)
+		label := fmt.Sprintf("traced run (workers=%d)", workers)
+		if okResult(label, code, body, &cell.Problems) == nil {
+			return nil
+		}
+		resp, _ := decodeResponse(body) // okResult already proved decodability
+		if resp.TraceID == "" {
+			cell.Problems = append(cell.Problems, label+": envelope carries no trace_id")
+			return nil
+		}
+		fl.Flush()
+		rt := fl.Get(resp.TraceID)
+		if rt == nil {
+			cell.Problems = append(cell.Problems, label+": flight recorder did not retain trace "+resp.TraceID)
+			return nil
+		}
+		b, err := rt.ChromeJSON(true)
+		if err != nil {
+			cell.Problems = append(cell.Problems, label+": deterministic export: "+err.Error())
+			return nil
+		}
+		return b
+	}
+	one := export(1)
+	eight := export(8)
+	if one == nil || eight == nil {
+		return cell
+	}
+	if !bytes.Equal(one, eight) {
+		cell.Problems = append(cell.Problems, "deterministic trace export differs between engine workers 1 and 8")
+	}
+	return cell
 }
 
 // runServiceChaosCell gates the chaos contract through the front door: the

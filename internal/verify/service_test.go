@@ -4,14 +4,15 @@ import "testing"
 
 // TestRunService runs the full service-path sweep at a small decoder size.
 // Every cell must pass: wire bit-transparency, warm-disk restart with a
-// >=90 % hit rate, and the chaos contract through the front door.
+// >=90 % hit rate, the chaos contract through the front door, and the
+// tracing determinism contract.
 func TestRunService(t *testing.T) {
 	rep, err := RunService(ServiceConfig{Seed: 5, Workers: 2, Bits: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cells) != 4 {
-		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	if len(rep.Cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(rep.Cells))
 	}
 	for _, c := range rep.Cells {
 		if !c.Pass {
